@@ -1,0 +1,98 @@
+//! Criterion benchmarks for the simulation kernel: event queue, RNG,
+//! distributions, and trace generation throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use acme_sim_core::dist::{Categorical, Distribution, LogNormal};
+use acme_sim_core::{EventQueue, SimRng, SimTime};
+use acme_workload::WorkloadGenerator;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/push_pop_10k", |b| {
+        let mut rng = SimRng::new(1);
+        let times: Vec<u64> = (0..10_000).map(|_| rng.below(1_000_000)).collect();
+        b.iter_batched(
+            EventQueue::new,
+            |mut q| {
+                for (i, &t) in times.iter().enumerate() {
+                    q.schedule(SimTime::from_micros(t), i);
+                }
+                while let Some(e) = q.pop() {
+                    black_box(e);
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("rng/next_u64_x1000", |b| {
+        let mut rng = SimRng::new(2);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                acc = acc.wrapping_add(rng.next_u64());
+            }
+            black_box(acc)
+        });
+    });
+
+    c.bench_function("dist/lognormal_x1000", |b| {
+        let mut rng = SimRng::new(3);
+        let d = LogNormal::from_median_mean(2.0, 35.0);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1000 {
+                acc += d.sample(&mut rng);
+            }
+            black_box(acc)
+        });
+    });
+
+    c.bench_function("dist/categorical_x1000", |b| {
+        let mut rng = SimRng::new(4);
+        let cat = Categorical::new(&[92.9, 3.2, 2.0, 1.9]);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..1000 {
+                acc += cat.sample_index(&mut rng);
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    c.bench_function("workload/kalos_30_days", |b| {
+        let gen = WorkloadGenerator::kalos();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = SimRng::new(seed);
+            black_box(gen.generate(&mut rng, 30.0, 0).jobs.len())
+        });
+    });
+
+    let mut group = c.benchmark_group("workload/seren_7_days");
+    group.sample_size(20);
+    group.bench_function("generate", |b| {
+        let gen = WorkloadGenerator::seren();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = SimRng::new(seed);
+            black_box(gen.generate(&mut rng, 7.0, 0).jobs.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    kernel,
+    bench_event_queue,
+    bench_rng,
+    bench_workload_generation
+);
+criterion_main!(kernel);

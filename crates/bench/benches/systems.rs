@@ -1,0 +1,93 @@
+//! Criterion benchmarks for the system pipelines: the cluster scheduler,
+//! failure diagnosis, the evaluation coordinator, checkpoint modelling and
+//! training step timelines — one benchmark per paper system, so the cost
+//! of regenerating each artifact is itself measured.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use acme_evaluation::benchmarks::registry;
+use acme_evaluation::coordinator::{run as run_eval, Scheduler};
+use acme_failure::{DiagnosisPipeline, FailureInjector, FailureReason, LogBundle};
+use acme_scheduler::{coalesce_eval_batches, ClusterScheduler, SchedulerConfig};
+use acme_sim_core::{SimDuration, SimRng};
+use acme_training::checkpoint::{CheckpointEngine, CheckpointMode, CheckpointScenario};
+use acme_training::{ModelConfig, StepTimeline, Strategy};
+use acme_workload::WorkloadGenerator;
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    group.sample_size(20);
+    group.bench_function("kalos_month_with_reservation", |b| {
+        let mut rng = SimRng::new(1);
+        let mut jobs = WorkloadGenerator::kalos().generate(&mut rng, 30.0, 0).jobs;
+        coalesce_eval_batches(&mut jobs, SimDuration::from_hours(24));
+        let sched = ClusterScheduler::new(SchedulerConfig::with_reservation(2560, 0.985));
+        b.iter(|| black_box(sched.run(jobs.clone()).finished_at));
+    });
+    group.finish();
+}
+
+fn bench_diagnosis(c: &mut Criterion) {
+    c.bench_function("diagnosis/log_generate_compress_classify", |b| {
+        let mut rng = SimRng::new(2);
+        let mut pipeline = DiagnosisPipeline::with_all_rules();
+        b.iter(|| {
+            let reason = *rng.pick(&FailureReason::ALL);
+            let bundle = LogBundle::generate(reason, 200, &mut rng);
+            black_box(pipeline.diagnose(&bundle.lines).is_some())
+        });
+    });
+
+    c.bench_function("diagnosis/inject_six_months", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = SimRng::new(seed);
+            black_box(FailureInjector::six_months().generate(&mut rng).len())
+        });
+    });
+}
+
+fn bench_evaluation(c: &mut Criterion) {
+    c.bench_function("evaluation/coordinator_4_nodes", |b| {
+        let datasets = registry();
+        let storage = acme_cluster::SharedStorage::seren();
+        b.iter(|| {
+            black_box(
+                run_eval(Scheduler::FullCoordinator, &datasets, 4, &storage, 14.0).makespan_secs,
+            )
+        });
+    });
+}
+
+fn bench_training_models(c: &mut Criterion) {
+    c.bench_function("training/step_timeline_v1_2048", |b| {
+        let model = ModelConfig::dense_123b();
+        let strat = Strategy::three_d_paper(2048);
+        b.iter(|| {
+            let tl = StepTimeline::dense(&model, &strat, 4 * 1024 * 1024);
+            black_box(tl.mean_sm_util())
+        });
+    });
+
+    c.bench_function("training/checkpoint_sweep", |b| {
+        let e = CheckpointEngine::new(CheckpointScenario::paper_123b());
+        b.iter(|| {
+            let mut acc = 0.0;
+            for mins in 1..=240 {
+                acc += e.overhead_fraction(CheckpointMode::Synchronous, mins as f64 * 60.0);
+            }
+            black_box(acc)
+        });
+    });
+}
+
+criterion_group!(
+    systems,
+    bench_scheduler,
+    bench_diagnosis,
+    bench_evaluation,
+    bench_training_models
+);
+criterion_main!(systems);

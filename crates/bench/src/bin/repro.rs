@@ -1,0 +1,53 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro --list            # show every experiment id
+//! repro all               # run everything (the EXPERIMENTS.md source)
+//! repro fig10 table3      # run a selection
+//! repro fig6 --seed 7     # override the seed
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let (ids, seed, list_only) = match acme_bench::parse_args(std::env::args().skip(1)) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: repro [--list] [--seed N] [all | <id>...]");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let registry = acme::experiments::all();
+    if list_only || ids.is_empty() {
+        println!("available experiments (run with `repro all` or `repro <id>...`):");
+        for e in &registry {
+            println!("  {:<8} {}", e.id, e.title);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let selected: Vec<String> = if ids.iter().any(|i| i == "all") {
+        registry.iter().map(|e| e.id.to_string()).collect()
+    } else {
+        ids
+    };
+
+    println!("# Acme reproduction — seed {seed}\n");
+    let mut failed = false;
+    for id in &selected {
+        match acme::experiments::run(id, seed) {
+            Some(output) => println!("{output}"),
+            None => {
+                eprintln!("error: unknown experiment id `{id}` (try --list)");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

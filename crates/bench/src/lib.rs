@@ -1,0 +1,80 @@
+//! `acme-bench`: the experiment harness and performance benchmarks.
+//!
+//! * The `repro` binary regenerates every table and figure:
+//!
+//!   ```text
+//!   cargo run -p acme-bench --bin repro -- all
+//!   cargo run -p acme-bench --bin repro -- fig10 table3 --seed 7
+//!   cargo run -p acme-bench --bin repro -- --list
+//!   ```
+//!
+//! * `cargo bench -p acme-bench` runs the Criterion suites:
+//!   `kernel` (event queue, RNG, distributions, trace generation) and
+//!   `systems` (scheduler, diagnosis pipeline, evaluation coordinator,
+//!   checkpoint model, step timelines).
+
+#![warn(missing_docs)]
+
+/// Default seed used by the harness when none is given.
+pub const DEFAULT_SEED: u64 = 42;
+
+/// Parse harness arguments: experiment ids plus an optional `--seed N`.
+/// Returns `(ids, seed, list_only)`.
+pub fn parse_args<I: IntoIterator<Item = String>>(
+    args: I,
+) -> Result<(Vec<String>, u64, bool), String> {
+    let mut ids = Vec::new();
+    let mut seed = DEFAULT_SEED;
+    let mut list_only = false;
+    let mut iter = args.into_iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--seed" => {
+                let v = iter.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
+            }
+            "--list" => list_only = true,
+            _ if a.starts_with("--") => return Err(format!("unknown flag: {a}")),
+            _ => ids.push(a),
+        }
+    }
+    Ok((ids, seed, list_only))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(xs: &[&str]) -> Vec<String> {
+        xs.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_ids_and_seed() {
+        let (ids, seed, list) = parse_args(v(&["fig10", "table3", "--seed", "7"])).unwrap();
+        assert_eq!(ids, vec!["fig10", "table3"]);
+        assert_eq!(seed, 7);
+        assert!(!list);
+    }
+
+    #[test]
+    fn defaults() {
+        let (ids, seed, list) = parse_args(v(&[])).unwrap();
+        assert!(ids.is_empty());
+        assert_eq!(seed, DEFAULT_SEED);
+        assert!(!list);
+    }
+
+    #[test]
+    fn list_flag() {
+        let (_, _, list) = parse_args(v(&["--list"])).unwrap();
+        assert!(list);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(v(&["--seed"])).is_err());
+        assert!(parse_args(v(&["--seed", "x"])).is_err());
+        assert!(parse_args(v(&["--bogus"])).is_err());
+    }
+}

@@ -1,0 +1,204 @@
+//! Collective-communication cost model over the NVLink + InfiniBand fabric.
+//!
+//! Acme nodes pair 8 NVLink/NVSwitch-connected A100s with one (Seren) or
+//! four (Kalos) 200 Gb/s HCAs (§2.2). Collective time follows the standard
+//! ring/hierarchical cost model: a collective moving `bytes` per GPU over
+//! `n` ranks pays `k(n) · bytes / bw + latency`, where the bandwidth is the
+//! slower of the intra-node NVLink share and the per-GPU slice of the
+//! node's InfiniBand uplink. The Appendix-A.6 MoE result — all-to-all
+//! starving a single-HCA node — falls straight out of this arithmetic.
+
+/// What the ranks are doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Collective {
+    /// Reduce + broadcast (ring: `2(n−1)/n` of the data per link).
+    AllReduce,
+    /// Everyone ends with everything (`(n−1)/n`).
+    AllGather,
+    /// Everyone ends with a reduced shard (`(n−1)/n`).
+    ReduceScatter,
+    /// Personalized exchange: `(n−1)/n` of the data crosses rank
+    /// boundaries, most of it inter-node.
+    AllToAll,
+    /// One-to-all over a tree (`≈ 1×` the data on the bottleneck link).
+    Broadcast,
+}
+
+/// The communication fabric of one cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FabricSpec {
+    /// GPUs per node (NVLink domain size).
+    pub gpus_per_node: u32,
+    /// Per-GPU NVLink bandwidth, GB/s (A100-SXM: 600 GB/s aggregate).
+    pub nvlink_gbps: f64,
+    /// Total application InfiniBand bandwidth per node, GB/s.
+    pub ib_node_gbps: f64,
+    /// Per-collective launch latency inside a node, microseconds.
+    pub latency_intra_us: f64,
+    /// Per-collective launch latency across nodes, microseconds.
+    pub latency_inter_us: f64,
+    /// Achieved fraction of line rate for bulk ring traffic.
+    pub ring_efficiency: f64,
+    /// Achieved fraction of line rate for all-to-all (incast and
+    /// many-small-message effects cut it roughly in half).
+    pub a2a_efficiency: f64,
+}
+
+impl FabricSpec {
+    /// Seren: one 200 Gb/s HCA per node.
+    pub fn seren() -> Self {
+        FabricSpec {
+            gpus_per_node: 8,
+            nvlink_gbps: 600.0,
+            ib_node_gbps: 200.0 / 8.0,
+            latency_intra_us: 8.0,
+            latency_inter_us: 25.0,
+            ring_efficiency: 0.85,
+            a2a_efficiency: 0.5,
+        }
+    }
+
+    /// Kalos: four 200 Gb/s application HCAs per node.
+    pub fn kalos() -> Self {
+        FabricSpec {
+            ib_node_gbps: 800.0 / 8.0,
+            ..Self::seren()
+        }
+    }
+
+    /// Effective per-GPU bandwidth (GB/s) for a collective over `gpus`
+    /// ranks: NVLink when the collective fits inside one node, otherwise
+    /// the per-GPU share of the node uplink.
+    pub fn bottleneck_gbps(&self, gpus: u32, collective: Collective) -> f64 {
+        let efficiency = match collective {
+            Collective::AllToAll => self.a2a_efficiency,
+            _ => self.ring_efficiency,
+        };
+        if gpus <= self.gpus_per_node {
+            self.nvlink_gbps * efficiency
+        } else {
+            (self.ib_node_gbps / self.gpus_per_node as f64) * efficiency
+        }
+    }
+
+    /// Wall time in seconds for `collective` moving `bytes_per_gpu` over
+    /// `gpus` ranks.
+    ///
+    /// # Panics
+    /// Panics unless `gpus >= 2`.
+    pub fn collective_secs(&self, collective: Collective, bytes_per_gpu: f64, gpus: u32) -> f64 {
+        assert!(gpus >= 2, "a collective needs at least two ranks");
+        let n = gpus as f64;
+        let traffic_factor = match collective {
+            Collective::AllReduce => 2.0 * (n - 1.0) / n,
+            Collective::AllGather | Collective::ReduceScatter | Collective::AllToAll => {
+                (n - 1.0) / n
+            }
+            Collective::Broadcast => 1.0,
+        };
+        let bw = self.bottleneck_gbps(gpus, collective) * 1e9;
+        let latency = if gpus <= self.gpus_per_node {
+            self.latency_intra_us
+        } else {
+            // Ring latency grows with the node count on the ring.
+            self.latency_inter_us * (n / self.gpus_per_node as f64).ceil()
+        } * 1e-6;
+        traffic_factor * bytes_per_gpu / bw + latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: f64 = 1e6;
+
+    #[test]
+    fn intra_node_is_much_faster_than_inter() {
+        let f = FabricSpec::seren();
+        let intra = f.collective_secs(Collective::AllReduce, 100.0 * MB, 8);
+        let inter = f.collective_secs(Collective::AllReduce, 100.0 * MB, 16);
+        assert!(
+            inter > 20.0 * intra,
+            "inter {inter:.4}s vs intra {intra:.5}s"
+        );
+    }
+
+    #[test]
+    fn allreduce_moves_twice_allgather() {
+        let f = FabricSpec::seren();
+        let ar = f.collective_secs(Collective::AllReduce, 64.0 * MB, 64);
+        let ag = f.collective_secs(Collective::AllGather, 64.0 * MB, 64);
+        let ratio = ar / ag;
+        assert!((1.8..2.1).contains(&ratio), "ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn kalos_uplink_is_4x_seren() {
+        let s = FabricSpec::seren();
+        let k = FabricSpec::kalos();
+        let ts = s.collective_secs(Collective::AllToAll, 64.0 * MB, 256);
+        let tk = k.collective_secs(Collective::AllToAll, 64.0 * MB, 256);
+        let ratio = ts / tk;
+        assert!((3.5..4.2).contains(&ratio), "ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn a2a_pays_the_efficiency_penalty() {
+        let f = FabricSpec::seren();
+        let a2a = f.collective_secs(Collective::AllToAll, 64.0 * MB, 64);
+        let ag = f.collective_secs(Collective::AllGather, 64.0 * MB, 64);
+        // Same traffic factor, worse efficiency.
+        assert!(a2a > 1.5 * ag, "a2a {a2a:.4}s vs ag {ag:.4}s");
+    }
+
+    #[test]
+    fn time_scales_linearly_in_bytes() {
+        let f = FabricSpec::kalos();
+        let t1 = f.collective_secs(Collective::ReduceScatter, 10.0 * MB, 128);
+        let t10 = f.collective_secs(Collective::ReduceScatter, 100.0 * MB, 128);
+        let ratio = t10 / t1;
+        assert!(
+            (6.0..10.2).contains(&ratio),
+            "ratio {ratio:.2} (latency floor keeps it sublinear)"
+        );
+    }
+
+    #[test]
+    fn latency_floor_for_tiny_messages() {
+        let f = FabricSpec::seren();
+        let t = f.collective_secs(Collective::AllReduce, 8.0, 1024);
+        assert!(t >= 25e-6 * 128.0, "tiny collectives pay ring latency: {t}");
+    }
+
+    #[test]
+    fn traffic_factor_approaches_limits() {
+        let f = FabricSpec::seren();
+        // For two ranks, allreduce moves exactly 1x per link.
+        let two = f.collective_secs(Collective::AllReduce, 100.0 * MB, 2);
+        let expected = 100.0 * MB / (600.0 * 0.85 * 1e9) + 8e-6;
+        assert!((two - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two ranks")]
+    fn rejects_single_rank() {
+        FabricSpec::seren().collective_secs(Collective::Broadcast, 1.0, 1);
+    }
+
+    /// Anchor test for Appendix A.6: the MoE all-to-all volume of a
+    /// Mistral-style model (4096 tokens/GPU, hidden 4096, top-2, two
+    /// all-to-alls per layer, 32 layers) exposes roughly half the step on
+    /// Seren's single HCA — matching the Figure-22 calibration.
+    #[test]
+    fn moe_alltoall_exposure_matches_fig22_regime() {
+        let bytes_per_layer_per_a2a = 4096.0 * 4096.0 * 2.0 * 2.0; // tokens×hidden×bf16×topk
+        let f = FabricSpec::seren();
+        let a2a = f.collective_secs(Collective::AllToAll, bytes_per_layer_per_a2a, 1024);
+        let comm_per_step = a2a * 2.0 * 32.0;
+        // Compute side: 6 × 13B active × 4M tokens over 1024 GPUs at 45% MFU.
+        let compute = 6.0 * 13e9 * 4_194_304.0 / (1024.0 * 312e12 * 0.45);
+        let frac = comm_per_step / (comm_per_step + compute);
+        assert!((0.4..0.65).contains(&frac), "exposed fraction {frac:.2}");
+    }
+}

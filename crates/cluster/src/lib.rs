@@ -1,0 +1,31 @@
+//! The Acme datacenter hardware model.
+//!
+//! This crate is the simulated stand-in for the physical plant described in
+//! §2.2 / Table 1 of the paper: two homogeneous A100 clusters (*Seren*,
+//! *Kalos*), their nodes, GPUs, InfiniBand fabric, the all-NVMe shared
+//! parallel file system, and the power/thermal envelope that Figures 8, 9,
+//! 16 (left), 18 and 21 are drawn from.
+//!
+//! Everything here is a *resource model*: state plus closed-form physics
+//! (power as a function of activity, temperature as a function of power,
+//! bandwidth shares under contention). The discrete-event crates
+//! (`acme-scheduler`, `acme-training`, `acme-evaluation`) drive these models
+//! and sample them through `acme-telemetry`.
+
+#![warn(missing_docs)]
+
+pub mod comm;
+pub mod gpu;
+pub mod node;
+pub mod power;
+pub mod spec;
+pub mod storage;
+pub mod thermal;
+
+pub use comm::{Collective, FabricSpec};
+pub use gpu::{GpuActivity, GpuDevice};
+pub use node::{HostMemoryBreakdown, Node};
+pub use power::{ServerPowerBreakdown, ServerPowerModel};
+pub use spec::{ClusterSpec, GpuSpec, NodeSpec, SchedulerKind};
+pub use storage::SharedStorage;
+pub use thermal::ThermalModel;

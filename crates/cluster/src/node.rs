@@ -1,0 +1,263 @@
+//! Nodes: GPUs plus host-side resources.
+//!
+//! Host memory is tracked as the breakdown Figure 18 reports for a Seren
+//! pretraining node: training processes, the on-the-fly dataloader,
+//! TensorBoard, the distributed-file-system client daemon, and a small
+//! remainder of system services — typically ~123 GB of the 1 TB total,
+//! which is exactly the headroom the asynchronous checkpointer (§6.1)
+//! exploits.
+
+use crate::gpu::GpuDevice;
+use crate::spec::NodeSpec;
+
+/// Host memory consumers on a pretraining node (Figure 18, GB).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostMemoryBreakdown {
+    /// The training processes proper (parameters staged on host, CUDA
+    /// context, NCCL buffers).
+    pub training_gb: f64,
+    /// Dataloader working set (on-the-fly loading; Megatron-style metadata
+    /// preloading would be much larger).
+    pub dataloader_gb: f64,
+    /// TensorBoard (Figure 18 reports 6.5 GB).
+    pub tensorboard_gb: f64,
+    /// Distributed-FS client daemon + data/metadata caches (45.3 GB).
+    pub fs_client_gb: f64,
+    /// In-memory checkpoint staging used by asynchronous checkpointing.
+    pub checkpoint_staging_gb: f64,
+    /// Prometheus exporters, drivers, Slurm daemon, sensors (0.6 GB).
+    pub system_gb: f64,
+}
+
+impl HostMemoryBreakdown {
+    /// The Figure-18 snapshot: ~123 GB active out of 1 TB.
+    pub fn figure18_pretraining() -> Self {
+        HostMemoryBreakdown {
+            training_gb: 58.2,
+            dataloader_gb: 12.4,
+            tensorboard_gb: 6.5,
+            fs_client_gb: 45.3,
+            checkpoint_staging_gb: 0.0,
+            system_gb: 0.6,
+        }
+    }
+
+    /// An idle node: only system services.
+    pub fn idle() -> Self {
+        HostMemoryBreakdown {
+            training_gb: 0.0,
+            dataloader_gb: 0.0,
+            tensorboard_gb: 0.0,
+            fs_client_gb: 2.0,
+            checkpoint_staging_gb: 0.0,
+            system_gb: 0.6,
+        }
+    }
+
+    /// Total GB in use.
+    pub fn total_gb(&self) -> f64 {
+        self.training_gb
+            + self.dataloader_gb
+            + self.tensorboard_gb
+            + self.fs_client_gb
+            + self.checkpoint_staging_gb
+            + self.system_gb
+    }
+
+    /// `(label, GB)` rows for rendering Figure 18.
+    pub fn rows(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("training processes", self.training_gb),
+            ("dataloader", self.dataloader_gb),
+            ("tensorboard", self.tensorboard_gb),
+            ("distributed-fs client", self.fs_client_gb),
+            ("checkpoint staging", self.checkpoint_staging_gb),
+            ("system services", self.system_gb),
+        ]
+    }
+}
+
+/// One compute node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    spec: NodeSpec,
+    gpus: Vec<GpuDevice>,
+    memory: HostMemoryBreakdown,
+    /// CPU utilization fraction (0–1) across all 128 threads.
+    cpu_util: f64,
+    /// Normalized IB send bandwidth (0–1 of line rate).
+    ib_send: f64,
+    /// Normalized IB receive bandwidth (0–1 of line rate).
+    ib_recv: f64,
+}
+
+impl Node {
+    /// A new idle node built from its spec.
+    pub fn new(spec: NodeSpec) -> Self {
+        let gpus = (0..spec.gpus).map(|_| GpuDevice::new(spec.gpu)).collect();
+        Node {
+            spec,
+            gpus,
+            memory: HostMemoryBreakdown::idle(),
+            cpu_util: 0.0,
+            ib_send: 0.0,
+            ib_recv: 0.0,
+        }
+    }
+
+    /// The node spec.
+    pub fn spec(&self) -> &NodeSpec {
+        &self.spec
+    }
+
+    /// All GPUs.
+    pub fn gpus(&self) -> &[GpuDevice] {
+        &self.gpus
+    }
+
+    /// Mutable access to one GPU.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
+    pub fn gpu_mut(&mut self, idx: usize) -> &mut GpuDevice {
+        &mut self.gpus[idx]
+    }
+
+    /// Host memory breakdown.
+    pub fn memory(&self) -> &HostMemoryBreakdown {
+        &self.memory
+    }
+
+    /// Replace the memory breakdown.
+    ///
+    /// # Panics
+    /// Panics if the new total exceeds the node's DRAM.
+    pub fn set_memory(&mut self, memory: HostMemoryBreakdown) {
+        assert!(
+            memory.total_gb() <= self.spec.host_memory_gb,
+            "host memory over-committed: {:.1} GB > {:.1} GB",
+            memory.total_gb(),
+            self.spec.host_memory_gb
+        );
+        self.memory = memory;
+    }
+
+    /// Free host memory, GB.
+    pub fn free_memory_gb(&self) -> f64 {
+        self.spec.host_memory_gb - self.memory.total_gb()
+    }
+
+    /// Host memory utilization fraction.
+    pub fn memory_fraction(&self) -> f64 {
+        self.memory.total_gb() / self.spec.host_memory_gb
+    }
+
+    /// CPU utilization fraction.
+    pub fn cpu_util(&self) -> f64 {
+        self.cpu_util
+    }
+
+    /// Set CPU utilization (clamped to 0–1).
+    pub fn set_cpu_util(&mut self, util: f64) {
+        self.cpu_util = util.clamp(0.0, 1.0);
+    }
+
+    /// Normalized IB (send, recv) bandwidth.
+    pub fn ib_bandwidth(&self) -> (f64, f64) {
+        (self.ib_send, self.ib_recv)
+    }
+
+    /// Set normalized IB bandwidth. LLM collectives are symmetric (Figure
+    /// 7d: the send and receive CDFs overlap), so most callers pass equal
+    /// values.
+    pub fn set_ib_bandwidth(&mut self, send: f64, recv: f64) {
+        self.ib_send = send.clamp(0.0, 1.0);
+        self.ib_recv = recv.clamp(0.0, 1.0);
+    }
+
+    /// Sum of GPU power draws, W.
+    pub fn gpu_power_w(&self) -> f64 {
+        self.gpus.iter().map(|g| g.power_w()).sum()
+    }
+
+    /// Number of idle GPUs.
+    pub fn idle_gpus(&self) -> usize {
+        self.gpus.iter().filter(|g| g.is_idle()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::GpuActivity;
+    use crate::spec::ClusterSpec;
+
+    fn node() -> Node {
+        Node::new(ClusterSpec::seren().node)
+    }
+
+    #[test]
+    fn new_node_is_idle() {
+        let n = node();
+        assert_eq!(n.gpus().len(), 8);
+        assert_eq!(n.idle_gpus(), 8);
+        assert_eq!(n.cpu_util(), 0.0);
+        // 8 idle A100s at 60 W.
+        assert_eq!(n.gpu_power_w(), 480.0);
+    }
+
+    #[test]
+    fn figure18_breakdown_totals() {
+        let m = HostMemoryBreakdown::figure18_pretraining();
+        // The paper reports ~123 GB of the 1 TB in use.
+        assert!(
+            (m.total_gb() - 123.0).abs() < 1.0,
+            "total = {}",
+            m.total_gb()
+        );
+        assert_eq!(m.tensorboard_gb, 6.5);
+        assert_eq!(m.fs_client_gb, 45.3);
+        assert_eq!(m.rows().len(), 6);
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let mut n = node();
+        n.set_memory(HostMemoryBreakdown::figure18_pretraining());
+        assert!(
+            n.memory_fraction() < 0.5,
+            "CPU memory stays under 50% (Fig 7b)"
+        );
+        assert!(n.free_memory_gb() > 800.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "over-committed")]
+    fn memory_overcommit_panics() {
+        let mut n = node();
+        let mut m = HostMemoryBreakdown::idle();
+        m.checkpoint_staging_gb = 2000.0;
+        n.set_memory(m);
+    }
+
+    #[test]
+    fn gpu_state_flows_through() {
+        let mut n = node();
+        n.gpu_mut(3).set_activity(GpuActivity {
+            sm_active: 1.0,
+            tensor_active: 0.5,
+            memory_used_gb: 60.0,
+        });
+        assert_eq!(n.idle_gpus(), 7);
+        assert!(n.gpu_power_w() > 480.0);
+    }
+
+    #[test]
+    fn clamps_cpu_and_ib() {
+        let mut n = node();
+        n.set_cpu_util(3.0);
+        assert_eq!(n.cpu_util(), 1.0);
+        n.set_ib_bandwidth(-1.0, 2.0);
+        assert_eq!(n.ib_bandwidth(), (0.0, 1.0));
+    }
+}

@@ -1,0 +1,231 @@
+//! Server- and datacenter-level power accounting.
+//!
+//! Calibrated to §3.4 and Appendix A.3:
+//!
+//! * Figure 9 — in a Seren GPU server, GPUs draw ≈ 2/3 of total power, CPUs
+//!   11.2%, the PSU loses 9.6% in conversion, and the remainder goes to
+//!   DRAM, fans, NICs and drives;
+//! * Figure 8(b) — GPU servers average ≈ 5× the power of CPU-only servers;
+//! * Appendix A.3 — PUE 1.25, 30.61% carbon-free energy, 0.478 tCO₂e/MWh,
+//!   Seren ≈ 673 MWh in May 2023 → 321.7 tCO₂e effective emissions.
+
+use crate::node::Node;
+
+/// Instantaneous power split for one GPU server, W.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerPowerBreakdown {
+    /// All GPUs.
+    pub gpus_w: f64,
+    /// Both CPU packages.
+    pub cpus_w: f64,
+    /// DRAM.
+    pub memory_w: f64,
+    /// Fans and cooling internals.
+    pub fans_w: f64,
+    /// NICs, drives, BMC and other peripherals.
+    pub other_w: f64,
+    /// PSU conversion loss.
+    pub psu_loss_w: f64,
+}
+
+impl ServerPowerBreakdown {
+    /// Wall power: everything including conversion loss.
+    pub fn total_w(&self) -> f64 {
+        self.gpus_w + self.cpus_w + self.memory_w + self.fans_w + self.other_w + self.psu_loss_w
+    }
+
+    /// `(label, watts, fraction_of_total)` rows for rendering Figure 9.
+    pub fn rows(&self) -> Vec<(&'static str, f64, f64)> {
+        let total = self.total_w();
+        [
+            ("GPUs", self.gpus_w),
+            ("CPUs", self.cpus_w),
+            ("memory", self.memory_w),
+            ("fans", self.fans_w),
+            ("other", self.other_w),
+            ("PSU loss", self.psu_loss_w),
+        ]
+        .into_iter()
+        .map(|(name, w)| (name, w, w / total))
+        .collect()
+    }
+}
+
+/// The affine per-component model mapping node state to wall power.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerPowerModel {
+    /// CPU package idle power (both sockets), W.
+    pub cpu_idle_w: f64,
+    /// CPU package max additional power at 100% utilization, W.
+    pub cpu_dynamic_w: f64,
+    /// DRAM power, W (roughly constant for registered DIMMs).
+    pub memory_w: f64,
+    /// Fan power at idle, W.
+    pub fans_idle_w: f64,
+    /// Additional fan power at full thermal load, W.
+    pub fans_dynamic_w: f64,
+    /// Peripheral power, W.
+    pub other_w: f64,
+    /// PSU conversion-loss fraction of delivered power.
+    pub psu_loss_fraction: f64,
+}
+
+impl Default for ServerPowerModel {
+    fn default() -> Self {
+        // Calibrated so that an *average* busy Seren node lands on the
+        // Figure-9 split: GPUs ≈ 2/3, CPUs ≈ 11.2%, PSU ≈ 9.6%.
+        ServerPowerModel {
+            cpu_idle_w: 200.0,
+            cpu_dynamic_w: 420.0,
+            memory_w: 240.0,
+            fans_idle_w: 60.0,
+            fans_dynamic_w: 90.0,
+            other_w: 60.0,
+            psu_loss_fraction: 0.106,
+        }
+    }
+}
+
+impl ServerPowerModel {
+    /// Evaluate the breakdown for a node's current state.
+    pub fn breakdown(&self, node: &Node) -> ServerPowerBreakdown {
+        let gpus_w = node.gpu_power_w();
+        let cpus_w = self.cpu_idle_w + self.cpu_dynamic_w * node.cpu_util();
+        // Fans track the thermal load, dominated by the GPUs.
+        let max_gpu_w = node.spec().gpus as f64 * node.spec().gpu.max_power_w;
+        let fans_w = self.fans_idle_w + self.fans_dynamic_w * (gpus_w / max_gpu_w);
+        let delivered = gpus_w + cpus_w + self.memory_w + fans_w + self.other_w;
+        ServerPowerBreakdown {
+            gpus_w,
+            cpus_w,
+            memory_w: self.memory_w,
+            fans_w,
+            other_w: self.other_w,
+            psu_loss_w: delivered * self.psu_loss_fraction,
+        }
+    }
+
+    /// Power of a CPU-only server at the given utilization, W. Figure 8(b)
+    /// includes six such servers in Seren at ≈ 1/5 of GPU-server power.
+    pub fn cpu_server_w(&self, cpu_util: f64) -> f64 {
+        let delivered = self.cpu_idle_w
+            + self.cpu_dynamic_w * cpu_util.clamp(0.0, 1.0)
+            + self.memory_w
+            + self.fans_idle_w
+            + self.other_w;
+        delivered * (1.0 + self.psu_loss_fraction)
+    }
+}
+
+/// Datacenter-level energy and carbon accounting (Appendix A.3).
+#[derive(Debug, Clone, Copy)]
+pub struct CarbonModel {
+    /// Power usage effectiveness.
+    pub pue: f64,
+    /// Fraction of energy from carbon-free sources (informational; already
+    /// folded into the effective emission rate below).
+    pub carbon_free_fraction: f64,
+    /// *Effective* emission rate, tCO₂e per MWh consumed. The appendix
+    /// quotes 0.478 tCO₂e/MWh as the footprint rate the datacenter
+    /// achieves after its 30.61% carbon-free mix.
+    pub tco2e_per_mwh: f64,
+}
+
+impl Default for CarbonModel {
+    fn default() -> Self {
+        CarbonModel {
+            pue: 1.25,
+            carbon_free_fraction: 0.3061,
+            tco2e_per_mwh: 0.478,
+        }
+    }
+}
+
+impl CarbonModel {
+    /// Facility energy (MWh) for the given IT energy (MWh).
+    pub fn facility_mwh(&self, it_mwh: f64) -> f64 {
+        it_mwh * self.pue
+    }
+
+    /// Effective emissions (tCO₂e) for the given consumed energy (MWh).
+    ///
+    /// The appendix multiplies the measured energy directly by the
+    /// effective 0.478 tCO₂e/MWh rate (673 MWh → 321.7 tCO₂e).
+    pub fn effective_tco2e(&self, consumed_mwh: f64) -> f64 {
+        consumed_mwh * self.tco2e_per_mwh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::GpuActivity;
+    use crate::spec::ClusterSpec;
+
+    /// A node at the cluster's *average* operating point — Figure 9 reports
+    /// the average power split, which folds in partially idle GPUs.
+    fn busy_node() -> Node {
+        let mut n = Node::new(ClusterSpec::seren().node);
+        for i in 0..8 {
+            n.gpu_mut(i).set_activity(GpuActivity {
+                sm_active: 0.7,
+                tensor_active: 0.15,
+                memory_used_gb: 62.0,
+            });
+        }
+        n.set_cpu_util(0.55);
+        n
+    }
+
+    #[test]
+    fn busy_server_matches_figure9_split() {
+        let b = ServerPowerModel::default().breakdown(&busy_node());
+        let total = b.total_w();
+        let gpu_frac = b.gpus_w / total;
+        let cpu_frac = b.cpus_w / total;
+        let psu_frac = b.psu_loss_w / total;
+        assert!(
+            (gpu_frac - 2.0 / 3.0).abs() < 0.05,
+            "gpu share {gpu_frac:.3}"
+        );
+        assert!((cpu_frac - 0.112).abs() < 0.03, "cpu share {cpu_frac:.3}");
+        assert!((psu_frac - 0.096).abs() < 0.02, "psu share {psu_frac:.3}");
+    }
+
+    #[test]
+    fn rows_sum_to_total() {
+        let b = ServerPowerModel::default().breakdown(&busy_node());
+        let sum: f64 = b.rows().iter().map(|&(_, w, _)| w).sum();
+        assert!((sum - b.total_w()).abs() < 1e-9);
+        let frac_sum: f64 = b.rows().iter().map(|&(_, _, f)| f).sum();
+        assert!((frac_sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gpu_server_roughly_5x_cpu_server() {
+        let m = ServerPowerModel::default();
+        let gpu_server = m.breakdown(&busy_node()).total_w();
+        let cpu_server = m.cpu_server_w(0.3);
+        let ratio = gpu_server / cpu_server;
+        assert!((4.0..7.0).contains(&ratio), "ratio = {ratio:.2}");
+    }
+
+    #[test]
+    fn idle_server_draws_much_less() {
+        let m = ServerPowerModel::default();
+        let idle = m.breakdown(&Node::new(ClusterSpec::seren().node)).total_w();
+        let busy = m.breakdown(&busy_node()).total_w();
+        assert!(idle < busy * 0.4, "idle {idle:.0} vs busy {busy:.0}");
+        // Idle still pays the 8×60 W GPU floor.
+        assert!(idle > 480.0);
+    }
+
+    #[test]
+    fn carbon_model_reproduces_appendix_a3() {
+        let c = CarbonModel::default();
+        // Seren consumed ≈ 673 MWh in May 2023 → 321.7 tCO₂e effective.
+        let t = c.effective_tco2e(673.0);
+        assert!((t - 321.7).abs() < 1.0, "tCO2e = {t:.1}");
+        assert_eq!(c.facility_mwh(100.0), 125.0);
+    }
+}

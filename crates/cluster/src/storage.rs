@@ -1,0 +1,169 @@
+//! The shared parallel file system and model-loading contention.
+//!
+//! Acme uses an all-NVMe shared parallel FS (§2.2). What matters for the
+//! evaluation-scheduling system is Figure 16 (left): on Seren, model loading
+//! rides a 25 Gb/s storage NIC per node, so loading speed per trial
+//! collapses as concurrent single-GPU trials pile onto one node (1 → 8) and
+//! then *stabilizes* as trials spread across nodes (8 → 256) because each
+//! node's NIC — not the NVMe backend — is the bottleneck.
+//!
+//! Loading from node-local shared memory (the trial coordinator's precursor
+//! jobs, §6.2) instead rides host-memory/PCIe bandwidth, orders of magnitude
+//! higher.
+
+/// The shared parallel file system, as seen by one cluster.
+#[derive(Debug, Clone, Copy)]
+pub struct SharedStorage {
+    /// Per-node storage NIC bandwidth, GB/s (25 Gb/s ≈ 3.125 GB/s on Seren).
+    pub node_nic_gbps: f64,
+    /// Aggregate backend bandwidth, GB/s (all-NVMe: effectively never the
+    /// bottleneck at Acme's scale).
+    pub backend_gbps: f64,
+    /// Max single-stream throughput, GB/s (one reader cannot saturate the
+    /// NIC due to request pipelining limits).
+    pub single_stream_gbps: f64,
+    /// Node-local shared-memory read bandwidth, GB/s (used after the
+    /// coordinator's precursor jobs stage the model into `/dev/shm`).
+    pub local_shm_gbps: f64,
+}
+
+impl SharedStorage {
+    /// Seren's storage path: 25 Gb/s shared storage NIC per node.
+    pub fn seren() -> Self {
+        SharedStorage {
+            node_nic_gbps: 25.0 / 8.0,
+            backend_gbps: 400.0,
+            single_stream_gbps: 2.4,
+            local_shm_gbps: 20.0,
+        }
+    }
+
+    /// Kalos's storage path: a dedicated 200 Gb/s storage HCA per node.
+    pub fn kalos() -> Self {
+        SharedStorage {
+            node_nic_gbps: 200.0 / 8.0,
+            backend_gbps: 800.0,
+            single_stream_gbps: 6.0,
+            local_shm_gbps: 20.0,
+        }
+    }
+
+    /// Per-trial remote loading speed (GB/s) when `trials_per_node` trials
+    /// read concurrently on each of `nodes` nodes.
+    ///
+    /// The speed is the minimum of three caps: the single-stream limit, the
+    /// fair share of the node NIC, and the fair share of the backend.
+    ///
+    /// # Panics
+    /// Panics if either count is zero.
+    pub fn per_trial_speed_gbps(&self, trials_per_node: u32, nodes: u32) -> f64 {
+        assert!(
+            trials_per_node > 0 && nodes > 0,
+            "need at least one trial and node"
+        );
+        let total_trials = (trials_per_node as f64) * (nodes as f64);
+        let nic_share = self.node_nic_gbps / trials_per_node as f64;
+        let backend_share = self.backend_gbps / total_trials;
+        self.single_stream_gbps.min(nic_share).min(backend_share)
+    }
+
+    /// Time in seconds to load `size_gb` from remote storage under the given
+    /// concurrency.
+    pub fn remote_load_secs(&self, size_gb: f64, trials_per_node: u32, nodes: u32) -> f64 {
+        size_gb / self.per_trial_speed_gbps(trials_per_node, nodes)
+    }
+
+    /// Time in seconds to load `size_gb` from node-local shared memory,
+    /// shared fairly among `readers` concurrent readers on the node.
+    pub fn local_load_secs(&self, size_gb: f64, readers: u32) -> f64 {
+        assert!(readers > 0, "need at least one reader");
+        let per_reader = (self.local_shm_gbps / readers as f64).min(self.local_shm_gbps);
+        size_gb / per_reader
+    }
+
+    /// The Figure-16-left series: average per-trial loading speed as the
+    /// number of concurrent single-GPU trials grows, packing 8 trials per
+    /// node before spilling to the next node. Returns `(total_trials,
+    /// GB/s)` pairs.
+    pub fn loading_speed_series(&self, trial_counts: &[u32]) -> Vec<(u32, f64)> {
+        trial_counts
+            .iter()
+            .map(|&t| {
+                let nodes = t.div_ceil(8).max(1);
+                let per_node = t.div_ceil(nodes).max(1);
+                (t, self.per_trial_speed_gbps(per_node, nodes))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_trial_hits_single_stream_cap() {
+        let s = SharedStorage::seren();
+        let v = s.per_trial_speed_gbps(1, 1);
+        assert_eq!(v, s.single_stream_gbps);
+    }
+
+    #[test]
+    fn eight_trials_on_one_node_share_the_nic() {
+        let s = SharedStorage::seren();
+        let v = s.per_trial_speed_gbps(8, 1);
+        assert!((v - s.node_nic_gbps / 8.0).abs() < 1e-12);
+        // A large drop from the single-trial speed (Figure 16 left).
+        assert!(v < s.per_trial_speed_gbps(1, 1) / 4.0);
+    }
+
+    #[test]
+    fn speed_stabilizes_from_8_to_256_gpus() {
+        // Figure 16 left: 8..256 trials (8 per node) all see the same share.
+        let s = SharedStorage::seren();
+        let series = s.loading_speed_series(&[8, 16, 32, 64, 128, 256]);
+        let first = series[0].1;
+        for &(n, v) in &series {
+            assert!((v - first).abs() < 1e-9, "speed at {n} trials drifted: {v}");
+        }
+    }
+
+    #[test]
+    fn series_is_monotone_nonincreasing() {
+        let s = SharedStorage::seren();
+        let series = s.loading_speed_series(&[1, 2, 4, 8, 16, 64, 256]);
+        for w in series.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn kalos_dedicated_hca_is_far_faster_under_contention() {
+        let seren = SharedStorage::seren();
+        let kalos = SharedStorage::kalos();
+        assert!(kalos.per_trial_speed_gbps(8, 1) > 4.0 * seren.per_trial_speed_gbps(8, 1));
+    }
+
+    #[test]
+    fn local_shm_beats_remote() {
+        let s = SharedStorage::seren();
+        // A 14 GB 7B-model checkpoint, 8 concurrent readers.
+        let remote = s.remote_load_secs(14.0, 8, 1);
+        let local = s.local_load_secs(14.0, 8);
+        assert!(
+            local < remote / 5.0,
+            "local {local:.1}s vs remote {remote:.1}s"
+        );
+    }
+
+    #[test]
+    fn backend_caps_extreme_fanout() {
+        let s = SharedStorage {
+            backend_gbps: 10.0,
+            ..SharedStorage::seren()
+        };
+        // 100 nodes × 1 trial: backend share (0.1) below nic and stream caps.
+        let v = s.per_trial_speed_gbps(1, 100);
+        assert!((v - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,262 @@
+//! The experiment registry: one entry per paper table/figure.
+//!
+//! Every experiment is a pure function of a seed, returning the printable
+//! rows/series the paper reports. The `repro` binary in `acme-bench` is a
+//! thin dispatcher over [`all`] / [`run`]; `EXPERIMENTS.md` records
+//! paper-vs-measured for each id.
+
+mod evaluation;
+mod extensions;
+mod failures;
+mod infra;
+pub mod queueing;
+mod training;
+mod workload;
+
+/// One reproducible artifact.
+#[derive(Debug, Clone, Copy)]
+pub struct Experiment {
+    /// Short id (`fig10`, `table3`, `ckpt`, …).
+    pub id: &'static str,
+    /// What the artifact shows.
+    pub title: &'static str,
+    /// Produce the rows for a seed.
+    pub run: fn(u64) -> String,
+}
+
+/// Every experiment, in paper order.
+pub fn all() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "table1",
+            title: "Table 1: cluster specifications",
+            run: workload::table1,
+        },
+        Experiment {
+            id: "table2",
+            title: "Table 2: datacenter comparison",
+            run: workload::table2,
+        },
+        Experiment {
+            id: "fig2",
+            title: "Figure 2: job duration & GPU utilization across datacenters",
+            run: workload::fig2,
+        },
+        Experiment {
+            id: "fig3",
+            title: "Figure 3: job count & GPU time vs requested GPUs",
+            run: workload::fig3,
+        },
+        Experiment {
+            id: "fig4",
+            title: "Figure 4: workload-type shares of jobs and GPU time",
+            run: workload::fig4,
+        },
+        Experiment {
+            id: "fig5",
+            title: "Figure 5: GPU demand per workload type (boxplots)",
+            run: workload::fig5,
+        },
+        Experiment {
+            id: "fig6",
+            title: "Figure 6: duration & queuing delay per workload type",
+            run: queueing::fig6,
+        },
+        Experiment {
+            id: "fig7",
+            title: "Figure 7: infrastructure utilization CDFs",
+            run: infra::fig7,
+        },
+        Experiment {
+            id: "fig8",
+            title: "Figure 8: GPU & server power CDFs",
+            run: infra::fig8,
+        },
+        Experiment {
+            id: "fig9",
+            title: "Figure 9: server power split by module",
+            run: infra::fig9,
+        },
+        Experiment {
+            id: "fig10",
+            title: "Figure 10: SM utilization, 123B over 2048 GPUs (V1 vs V2)",
+            run: training::fig10,
+        },
+        Experiment {
+            id: "fig11",
+            title: "Figure 11: memory snapshot per strategy",
+            run: training::fig11,
+        },
+        Experiment {
+            id: "fig12",
+            title: "Figure 12: per-pipeline-rank memory (1F1B)",
+            run: training::fig12,
+        },
+        Experiment {
+            id: "fig13",
+            title: "Figure 13: SM utilization over a HumanEval evaluation",
+            run: evaluation::fig13,
+        },
+        Experiment {
+            id: "fig14",
+            title: "Figure 14: training progress with manual recovery",
+            run: training::fig14,
+        },
+        Experiment {
+            id: "table3",
+            title: "Table 3: failure statistics",
+            run: failures::table3,
+        },
+        Experiment {
+            id: "fig16l",
+            title: "Figure 16 (left): model loading speed vs concurrency",
+            run: evaluation::fig16l,
+        },
+        Experiment {
+            id: "fig16r",
+            title: "Figure 16 (right): baseline vs decoupled evaluation makespan",
+            run: evaluation::fig16r,
+        },
+        Experiment {
+            id: "fig17",
+            title: "Figure 17: final job statuses",
+            run: workload::fig17,
+        },
+        Experiment {
+            id: "fig18",
+            title: "Figure 18: host memory breakdown on a pretraining node",
+            run: infra::fig18,
+        },
+        Experiment {
+            id: "fig19",
+            title: "Figure 19: SM utilization at 1024 GPUs",
+            run: training::fig19,
+        },
+        Experiment {
+            id: "fig20",
+            title: "Figure 20: memory snapshot at 1024 GPUs",
+            run: training::fig20,
+        },
+        Experiment {
+            id: "fig21",
+            title: "Figure 21: GPU core & memory temperature CDFs",
+            run: infra::fig21,
+        },
+        Experiment {
+            id: "fig22",
+            title: "Figure 22: MoE pretraining SM utilization",
+            run: training::fig22,
+        },
+        Experiment {
+            id: "ckpt",
+            title: "§6.1: sync vs async checkpointing (3.6–58.7×)",
+            run: training::ckpt,
+        },
+        Experiment {
+            id: "diag",
+            title: "§6.1: diagnosis accuracy & manual-intervention reduction",
+            run: failures::diag,
+        },
+        Experiment {
+            id: "carbon",
+            title: "Appendix A.3: energy & carbon accounting",
+            run: infra::carbon,
+        },
+        Experiment {
+            id: "data",
+            title: "§2.1/A.2: data-preparation pipeline & dataloader memory",
+            run: extensions::data,
+        },
+        Experiment {
+            id: "loss",
+            title: "§5.3/§6.1.3: loss-spike detection and recovery",
+            run: extensions::loss,
+        },
+        Experiment {
+            id: "preempt",
+            title: "§3.1 ablation: preemption vs quota reservation",
+            run: extensions::preempt,
+        },
+        Experiment {
+            id: "pipeline",
+            title: "Figure 1/15: development walk & integrated fault tolerance",
+            run: extensions::pipeline,
+        },
+        Experiment {
+            id: "thermal",
+            title: "§5.2/A.5: overheating episode & cooling upgrade",
+            run: extensions::thermal,
+        },
+        Experiment {
+            id: "hpo",
+            title: "§7 future work: Hydro-style surrogate hyperparameter tuning",
+            run: extensions::hpo,
+        },
+        Experiment {
+            id: "longseq",
+            title: "§7 future work: long-sequence pretraining cost structure",
+            run: extensions::longseq,
+        },
+        Experiment {
+            id: "lessons",
+            title: "Appendix B: GC stragglers & the dataloader leak",
+            run: extensions::lessons,
+        },
+        Experiment {
+            id: "cache",
+            title: "§4.2: tokenized-data caching across checkpoint evaluations",
+            run: extensions::cache,
+        },
+    ]
+}
+
+/// Run one experiment by id. `None` when the id is unknown.
+pub fn run(id: &str, seed: u64) -> Option<String> {
+    all().into_iter().find(|e| e.id == id).map(|e| {
+        let body = (e.run)(seed);
+        format!("### {} — {}\n{}", e.id, e.title, body)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_listed_artifact() {
+        let ids: Vec<&str> = all().iter().map(|e| e.id).collect();
+        for expected in [
+            "table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+            "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig16l", "fig16r", "fig17",
+            "fig18", "fig19", "fig20", "fig21", "fig22", "ckpt", "diag", "carbon", "data", "loss",
+            "preempt", "pipeline", "thermal", "hpo", "longseq", "lessons", "cache",
+        ] {
+            assert!(ids.contains(&expected), "missing {expected}");
+        }
+        assert_eq!(ids.len(), 36);
+        // Ids unique.
+        let set: std::collections::HashSet<_> = ids.iter().collect();
+        assert_eq!(set.len(), ids.len());
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(run("fig99", 1).is_none());
+    }
+
+    #[test]
+    fn every_experiment_runs_and_is_deterministic() {
+        for e in all() {
+            let a = (e.run)(7);
+            let b = (e.run)(7);
+            assert!(!a.is_empty(), "{} produced nothing", e.id);
+            assert_eq!(a, b, "{} is nondeterministic", e.id);
+        }
+    }
+
+    #[test]
+    fn run_prepends_header() {
+        let s = run("table1", 1).unwrap();
+        assert!(s.starts_with("### table1 — Table 1"));
+    }
+}

@@ -1,0 +1,33 @@
+//! `acme` — the top-level facade over the Acme datacenter reproduction.
+//!
+//! This crate ties the substrates together:
+//!
+//! * [`datacenter`] — builds the two clusters, their workload generators
+//!   and failure injector, and runs the six-month end-to-end simulation;
+//! * [`monitor`] — the infrastructure monitor: samples GPU/node state at
+//!   the paper's 15 s cadence into a DCGM-like metric store (Figures 7, 8,
+//!   21);
+//! * [`experiments`] — one function per paper table/figure, each returning
+//!   printable rows; the `repro` binary in `acme-bench` drives them.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use acme::datacenter::Acme;
+//!
+//! let acme = Acme::new(42);
+//! let trace = acme.run_days(7.0);
+//! let stats = acme_workload::TraceStats::new(&trace.kalos.jobs);
+//! println!("Kalos: {} jobs, {:.1} GPU-hours", stats.len(), stats.total_gpu_hours());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod datacenter;
+pub mod experiments;
+pub mod monitor;
+pub mod pipeline;
+
+pub use datacenter::{Acme, AcmeTrace};
+pub use monitor::ClusterMonitor;
+pub use pipeline::{DevelopmentPipeline, FaultTolerantTrainer};

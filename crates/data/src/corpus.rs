@@ -1,0 +1,213 @@
+//! Synthetic corpus generation.
+//!
+//! Stands in for the paper's private web corpora: documents are sequences
+//! of words drawn from a Zipfian vocabulary (natural-language-like rank
+//! frequencies), with document lengths log-normal. The generator plants a
+//! controllable fraction of near-duplicates (lightly mutated copies of
+//! earlier documents) and of toxic documents, so the curation stages have
+//! real work to do and measurable ground truth.
+
+use acme_sim_core::dist::{Distribution, LogNormal};
+use acme_sim_core::SimRng;
+
+/// Toxic marker terms the detoxifier looks for (synthetic stand-ins).
+pub const TOXIC_TERMS: [&str; 4] = ["zzxcurse", "zzxslur", "zzxabuse", "zzxthreat"];
+
+/// One generated document plus its ground-truth provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Document {
+    /// Document id.
+    pub id: u64,
+    /// Whitespace-joined text.
+    pub text: String,
+    /// `Some(original_id)` when this is a planted near-duplicate.
+    pub duplicate_of: Option<u64>,
+    /// Whether toxic terms were planted.
+    pub toxic: bool,
+}
+
+/// Generates documents with planted duplicates and toxicity.
+#[derive(Debug, Clone)]
+pub struct CorpusGenerator {
+    vocab: Vec<String>,
+    length: LogNormal,
+    /// Probability a new document is a mutated copy of an earlier one.
+    pub duplicate_fraction: f64,
+    /// Probability a document carries toxic terms.
+    pub toxic_fraction: f64,
+}
+
+impl CorpusGenerator {
+    /// A generator with `vocab_size` distinct words and documents of
+    /// roughly `median_len` words.
+    ///
+    /// # Panics
+    /// Panics on an empty vocabulary or non-positive length.
+    pub fn new(vocab_size: usize, median_len: f64) -> Self {
+        assert!(vocab_size > 0 && median_len > 1.0, "bad corpus parameters");
+        // Deterministic pseudo-words: syllable products, so BPE has real
+        // substructure to discover.
+        const ONSETS: [&str; 8] = ["b", "k", "d", "f", "g", "m", "s", "t"];
+        const NUCLEI: [&str; 5] = ["a", "e", "i", "o", "u"];
+        const CODAS: [&str; 4] = ["n", "r", "l", ""];
+        let mut vocab = Vec::with_capacity(vocab_size);
+        'outer: for len in 1..6 {
+            // Words of 1..5 syllables, in a fixed enumeration order.
+            let syllables = ONSETS.len() * NUCLEI.len() * CODAS.len();
+            let count = syllables.pow(len);
+            for idx in 0..count {
+                let mut word = String::new();
+                let mut k = idx;
+                for _ in 0..len {
+                    let s = k % syllables;
+                    k /= syllables;
+                    let onset = ONSETS[s % ONSETS.len()];
+                    let nucleus = NUCLEI[(s / ONSETS.len()) % NUCLEI.len()];
+                    let coda = CODAS[s / (ONSETS.len() * NUCLEI.len())];
+                    word.push_str(onset);
+                    word.push_str(nucleus);
+                    word.push_str(coda);
+                }
+                vocab.push(word);
+                if vocab.len() == vocab_size {
+                    break 'outer;
+                }
+            }
+        }
+        CorpusGenerator {
+            vocab,
+            length: LogNormal::from_median_mean(median_len, median_len * 1.6),
+            duplicate_fraction: 0.12,
+            toxic_fraction: 0.04,
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Draw a Zipf-distributed word (rank r with probability ∝ 1/r).
+    fn zipf_word<'a>(&'a self, rng: &mut SimRng) -> &'a str {
+        // Inverse-CDF sampling of Zipf(1) via the harmonic approximation:
+        // rank ≈ exp(u · ln(N)) distributes mass ∝ 1/rank.
+        let n = self.vocab.len() as f64;
+        let rank = (rng.f64() * n.ln()).exp().min(n) as usize;
+        &self.vocab[rank.saturating_sub(1)]
+    }
+
+    /// Generate `count` documents.
+    pub fn generate(&self, rng: &mut SimRng, count: usize) -> Vec<Document> {
+        let mut docs: Vec<Document> = Vec::with_capacity(count);
+        for id in 0..count as u64 {
+            let make_dup = !docs.is_empty() && rng.chance(self.duplicate_fraction);
+            if make_dup {
+                let src = &docs[rng.below(docs.len() as u64) as usize];
+                let src_id = src.id;
+                let toxic = src.toxic;
+                let mut words: Vec<String> =
+                    src.text.split_whitespace().map(str::to_owned).collect();
+                // Mutate ~3% of the words: the shingle overlap stays high.
+                let mutations = (words.len() / 32).max(1);
+                for _ in 0..mutations {
+                    let at = rng.below(words.len() as u64) as usize;
+                    words[at] = self.zipf_word(rng).to_owned();
+                }
+                docs.push(Document {
+                    id,
+                    text: words.join(" "),
+                    duplicate_of: Some(src_id),
+                    toxic,
+                });
+                continue;
+            }
+            let len = (self.length.sample(rng).round() as usize).clamp(8, 4000);
+            let mut words: Vec<&str> = (0..len).map(|_| self.zipf_word(rng)).collect();
+            let toxic = rng.chance(self.toxic_fraction);
+            if toxic {
+                let at = rng.below(words.len() as u64) as usize;
+                words[at] = TOXIC_TERMS[rng.below(TOXIC_TERMS.len() as u64) as usize];
+            }
+            docs.push(Document {
+                id,
+                text: words.join(" "),
+                duplicate_of: None,
+                toxic,
+            });
+        }
+        docs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus(n: usize, seed: u64) -> Vec<Document> {
+        let mut rng = SimRng::new(seed);
+        CorpusGenerator::new(2000, 120.0).generate(&mut rng, n)
+    }
+
+    #[test]
+    fn vocabulary_is_distinct_and_sized() {
+        let g = CorpusGenerator::new(5000, 100.0);
+        assert_eq!(g.vocab_size(), 5000);
+        let set: std::collections::HashSet<_> = g.vocab.iter().collect();
+        assert_eq!(set.len(), 5000, "duplicate pseudo-words");
+    }
+
+    #[test]
+    fn generates_requested_count_with_plants() {
+        let docs = corpus(500, 1);
+        assert_eq!(docs.len(), 500);
+        let dups = docs.iter().filter(|d| d.duplicate_of.is_some()).count();
+        let toxic = docs.iter().filter(|d| d.toxic).count();
+        assert!((30..110).contains(&dups), "dups = {dups}");
+        assert!((5..50).contains(&toxic), "toxic = {toxic}");
+    }
+
+    #[test]
+    fn word_frequencies_are_zipf_like() {
+        let docs = corpus(300, 2);
+        let mut counts: std::collections::HashMap<&str, usize> = Default::default();
+        for d in &docs {
+            for w in d.text.split_whitespace() {
+                *counts.entry(w).or_insert(0) += 1;
+            }
+        }
+        let mut freqs: Vec<usize> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        // Heavy head: the top word far outweighs the 100th.
+        assert!(freqs[0] > 10 * freqs[99.min(freqs.len() - 1)]);
+    }
+
+    #[test]
+    fn duplicates_share_most_words_with_their_source() {
+        let docs = corpus(800, 3);
+        let dup = docs.iter().find(|d| d.duplicate_of.is_some()).unwrap();
+        let src = &docs[dup.duplicate_of.unwrap() as usize];
+        let a: std::collections::HashSet<&str> = src.text.split_whitespace().collect();
+        let b: std::collections::HashSet<&str> = dup.text.split_whitespace().collect();
+        let inter = a.intersection(&b).count() as f64;
+        let union = a.union(&b).count() as f64;
+        assert!(inter / union > 0.7, "jaccard {:.2}", inter / union);
+    }
+
+    #[test]
+    fn toxic_docs_contain_marker_terms() {
+        let docs = corpus(500, 4);
+        for d in docs.iter().filter(|d| d.toxic && d.duplicate_of.is_none()) {
+            assert!(
+                TOXIC_TERMS.iter().any(|t| d.text.contains(t)),
+                "toxic doc {} lacks markers",
+                d.id
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(corpus(100, 9), corpus(100, 9));
+        assert_ne!(corpus(100, 9), corpus(100, 10));
+    }
+}

@@ -1,0 +1,226 @@
+//! Near-duplicate detection via shingling + MinHash.
+//!
+//! The curation stage deduplicates the corpus (§2.1). Exact-match hashing
+//! misses lightly mutated copies, so we estimate Jaccard similarity of
+//! word k-shingle sets with MinHash signatures and drop documents whose
+//! estimated similarity to an earlier document exceeds a threshold.
+
+use crate::corpus::Document;
+
+/// Number of hash functions in a signature.
+const SIGNATURE_LEN: usize = 64;
+
+/// FNV-1a over a shingle.
+fn fnv1a(words: &[&str]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for b in w.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h ^= 0x1f; // shingle separator
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// A MinHash signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signature([u64; SIGNATURE_LEN]);
+
+impl Signature {
+    /// Estimated Jaccard similarity: fraction of agreeing minima.
+    pub fn similarity(&self, other: &Signature) -> f64 {
+        let agree = self
+            .0
+            .iter()
+            .zip(other.0.iter())
+            .filter(|(a, b)| a == b)
+            .count();
+        agree as f64 / SIGNATURE_LEN as f64
+    }
+}
+
+/// The deduplicator.
+#[derive(Debug, Clone)]
+pub struct MinHashDeduper {
+    /// Words per shingle.
+    pub shingle_len: usize,
+    /// Similarity at or above which a document is a duplicate.
+    pub threshold: f64,
+    /// Per-hash mixing constants (odd multipliers).
+    mixers: [u64; SIGNATURE_LEN],
+}
+
+impl MinHashDeduper {
+    /// Default configuration: 5-word shingles, 0.6 similarity threshold.
+    pub fn new() -> Self {
+        Self::with_params(5, 0.6)
+    }
+
+    /// Custom shingle length and threshold.
+    ///
+    /// # Panics
+    /// Panics on a zero shingle length or a threshold outside `(0, 1]`.
+    pub fn with_params(shingle_len: usize, threshold: f64) -> Self {
+        assert!(shingle_len > 0, "shingle length must be positive");
+        assert!(threshold > 0.0 && threshold <= 1.0, "bad threshold");
+        let mut mixers = [0u64; SIGNATURE_LEN];
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for m in &mut mixers {
+            // SplitMix64 step; force odd for invertible multiply.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *m = (z ^ (z >> 31)) | 1;
+        }
+        MinHashDeduper {
+            shingle_len,
+            threshold,
+            mixers,
+        }
+    }
+
+    /// Compute a document's signature. Short documents (fewer words than a
+    /// shingle) hash as a single shingle.
+    pub fn signature(&self, text: &str) -> Signature {
+        let words: Vec<&str> = text.split_whitespace().collect();
+        let mut mins = [u64::MAX; SIGNATURE_LEN];
+        let mut feed = |h: u64| {
+            for (i, &mix) in self.mixers.iter().enumerate() {
+                let v = h.wrapping_mul(mix).rotate_left(17);
+                if v < mins[i] {
+                    mins[i] = v;
+                }
+            }
+        };
+        if words.len() < self.shingle_len {
+            feed(fnv1a(&words));
+        } else {
+            for sh in words.windows(self.shingle_len) {
+                feed(fnv1a(sh));
+            }
+        }
+        Signature(mins)
+    }
+
+    /// Split a corpus into `(kept, dropped_duplicates)`. The first
+    /// occurrence always survives; later similar documents drop.
+    pub fn dedup(&self, docs: Vec<Document>) -> (Vec<Document>, Vec<Document>) {
+        let mut kept: Vec<Document> = Vec::new();
+        let mut kept_sigs: Vec<Signature> = Vec::new();
+        let mut dropped = Vec::new();
+        for doc in docs {
+            let sig = self.signature(&doc.text);
+            let is_dup = kept_sigs
+                .iter()
+                .any(|s| s.similarity(&sig) >= self.threshold);
+            if is_dup {
+                dropped.push(doc);
+            } else {
+                kept.push(doc);
+                kept_sigs.push(sig);
+            }
+        }
+        (kept, dropped)
+    }
+}
+
+impl Default for MinHashDeduper {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusGenerator;
+    use acme_sim_core::SimRng;
+
+    #[test]
+    fn identical_texts_have_identical_signatures() {
+        let d = MinHashDeduper::new();
+        let a = d.signature("the quick brown fox jumps over the lazy dog again and again");
+        let b = d.signature("the quick brown fox jumps over the lazy dog again and again");
+        assert_eq!(a, b);
+        assert_eq!(a.similarity(&b), 1.0);
+    }
+
+    #[test]
+    fn unrelated_texts_score_low() {
+        let d = MinHashDeduper::new();
+        let mut rng = SimRng::new(1);
+        let gen = CorpusGenerator::new(2000, 200.0);
+        let docs = gen.generate(&mut rng, 40);
+        let originals: Vec<_> = docs.iter().filter(|x| x.duplicate_of.is_none()).collect();
+        let a = d.signature(&originals[0].text);
+        let b = d.signature(&originals[1].text);
+        assert!(a.similarity(&b) < 0.2, "sim {}", a.similarity(&b));
+    }
+
+    #[test]
+    fn mutated_copy_scores_high() {
+        let d = MinHashDeduper::new();
+        let base: Vec<String> = (0..300).map(|i| format!("w{i}")).collect();
+        let mut mutated = base.clone();
+        mutated[7] = "CHANGED".to_owned();
+        mutated[150] = "ALSO".to_owned();
+        let a = d.signature(&base.join(" "));
+        let b = d.signature(&mutated.join(" "));
+        assert!(a.similarity(&b) > 0.7, "sim {}", a.similarity(&b));
+    }
+
+    #[test]
+    fn dedup_recovers_planted_duplicates() {
+        let mut rng = SimRng::new(2);
+        let gen = CorpusGenerator::new(2000, 150.0);
+        let docs = gen.generate(&mut rng, 400);
+        let planted = docs.iter().filter(|d| d.duplicate_of.is_some()).count();
+        let (kept, dropped) = MinHashDeduper::new().dedup(docs);
+        assert_eq!(kept.len() + dropped.len(), 400);
+        // Recall: most planted duplicates are caught.
+        let caught_planted = dropped.iter().filter(|d| d.duplicate_of.is_some()).count();
+        assert!(
+            caught_planted as f64 >= 0.85 * planted as f64,
+            "caught {caught_planted} of {planted}"
+        );
+        // Precision: few originals are dropped (coincidental overlap only).
+        let false_drops = dropped.iter().filter(|d| d.duplicate_of.is_none()).count();
+        assert!(
+            (false_drops as f64) < 0.05 * 400.0,
+            "false drops {false_drops}"
+        );
+    }
+
+    #[test]
+    fn first_occurrence_survives() {
+        let docs = vec![
+            Document {
+                id: 0,
+                text: "a b c d e f g h i j".into(),
+                duplicate_of: None,
+                toxic: false,
+            },
+            Document {
+                id: 1,
+                text: "a b c d e f g h i j".into(),
+                duplicate_of: Some(0),
+                toxic: false,
+            },
+        ];
+        let (kept, dropped) = MinHashDeduper::new().dedup(docs);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].id, 0);
+        assert_eq!(dropped[0].id, 1);
+    }
+
+    #[test]
+    fn short_documents_are_handled() {
+        let d = MinHashDeduper::new();
+        let s = d.signature("tiny");
+        assert_eq!(s.similarity(&d.signature("tiny")), 1.0);
+        assert!(s.similarity(&d.signature("other")) < 0.5);
+    }
+}

@@ -1,0 +1,150 @@
+//! The end-to-end data-preparation pipeline: detox → dedup → tokenize.
+
+use acme_sim_core::SimRng;
+
+use crate::corpus::{CorpusGenerator, Document};
+use crate::dedup::MinHashDeduper;
+use crate::detox::Detoxifier;
+use crate::tokenizer::{BpeTokenizer, TokenId};
+
+/// Per-stage statistics of one pipeline run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineStats {
+    /// Documents in the raw corpus.
+    pub raw_docs: usize,
+    /// Removed by detoxification.
+    pub detoxed: usize,
+    /// Removed as near-duplicates.
+    pub deduped: usize,
+    /// Documents surviving curation.
+    pub curated_docs: usize,
+    /// Tokens in the tokenized dataset.
+    pub total_tokens: usize,
+    /// Average bytes of text per token.
+    pub bytes_per_token: f64,
+}
+
+/// A curated, tokenized dataset.
+#[derive(Debug, Clone)]
+pub struct TokenizedDataset {
+    /// Token sequences per document.
+    pub documents: Vec<Vec<TokenId>>,
+}
+
+impl TokenizedDataset {
+    /// Total token count.
+    pub fn total_tokens(&self) -> usize {
+        self.documents.iter().map(Vec::len).sum()
+    }
+}
+
+/// The curation + tokenization pipeline.
+#[derive(Debug, Clone)]
+pub struct DataPipeline {
+    detox: Detoxifier,
+    dedup: MinHashDeduper,
+    /// BPE vocabulary target.
+    pub vocab_size: usize,
+}
+
+impl DataPipeline {
+    /// Default configuration.
+    pub fn new(vocab_size: usize) -> Self {
+        DataPipeline {
+            detox: Detoxifier::new(),
+            dedup: MinHashDeduper::new(),
+            vocab_size,
+        }
+    }
+
+    /// Run curation and tokenization over a raw corpus. Returns the
+    /// dataset, the tokenizer trained on the *curated* text, and stats.
+    pub fn run(&self, raw: Vec<Document>) -> (TokenizedDataset, BpeTokenizer, PipelineStats) {
+        let raw_docs = raw.len();
+        let (clean, removed_toxic) = self.detox.filter(raw);
+        let (kept, removed_dup) = self.dedup.dedup(clean);
+        let texts: Vec<&str> = kept.iter().map(|d| d.text.as_str()).collect();
+        let tokenizer = BpeTokenizer::train(&texts, self.vocab_size);
+        let documents: Vec<Vec<TokenId>> = texts.iter().map(|t| tokenizer.encode(t)).collect();
+        let total_tokens: usize = documents.iter().map(Vec::len).sum();
+        let total_bytes: usize = texts
+            .iter()
+            .map(|t| t.split_whitespace().collect::<Vec<_>>().join(" ").len())
+            .sum();
+        let stats = PipelineStats {
+            raw_docs,
+            detoxed: removed_toxic.len(),
+            deduped: removed_dup.len(),
+            curated_docs: kept.len(),
+            total_tokens,
+            bytes_per_token: if total_tokens == 0 {
+                0.0
+            } else {
+                total_bytes as f64 / total_tokens as f64
+            },
+        };
+        (TokenizedDataset { documents }, tokenizer, stats)
+    }
+
+    /// Convenience: generate a synthetic corpus and run the pipeline.
+    pub fn run_synthetic(
+        &self,
+        rng: &mut SimRng,
+        docs: usize,
+        corpus_vocab: usize,
+        median_len: f64,
+    ) -> (TokenizedDataset, BpeTokenizer, PipelineStats) {
+        let raw = CorpusGenerator::new(corpus_vocab, median_len).generate(rng, docs);
+        self.run(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(seed: u64) -> (TokenizedDataset, BpeTokenizer, PipelineStats) {
+        let mut rng = SimRng::new(seed);
+        DataPipeline::new(512).run_synthetic(&mut rng, 300, 1200, 80.0)
+    }
+
+    #[test]
+    fn stages_conserve_documents() {
+        let (ds, _, s) = run(1);
+        assert_eq!(s.raw_docs, 300);
+        assert_eq!(s.detoxed + s.deduped + s.curated_docs, 300);
+        assert_eq!(ds.documents.len(), s.curated_docs);
+        assert!(s.detoxed > 0, "planted toxicity must be removed");
+        assert!(s.deduped > 0, "planted duplicates must be removed");
+    }
+
+    #[test]
+    fn tokenization_compresses() {
+        let (_, _, s) = run(2);
+        assert!(s.total_tokens > 0);
+        // BPE at 512 vocab should beat one-byte-per-token clearly.
+        assert!(
+            s.bytes_per_token > 1.5,
+            "bytes/token {:.2}",
+            s.bytes_per_token
+        );
+    }
+
+    #[test]
+    fn tokenizer_round_trips_curated_text() {
+        let mut rng = SimRng::new(3);
+        let raw = CorpusGenerator::new(800, 60.0).generate(&mut rng, 100);
+        let sample = raw[0].text.clone();
+        let (_, tok, _) = DataPipeline::new(400).run(raw);
+        let normalized = sample.split_whitespace().collect::<Vec<_>>().join(" ");
+        assert_eq!(tok.decode(&tok.encode(&sample)), normalized);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (a, _, sa) = run(7);
+        let (b, _, sb) = run(7);
+        assert_eq!(sa, sb);
+        assert_eq!(a.documents, b.documents);
+    }
+}

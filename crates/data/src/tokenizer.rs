@@ -1,0 +1,262 @@
+//! Byte-pair encoding.
+//!
+//! The paper notes that "all the data must be tokenized to ensure
+//! compatibility with the model's input" (§2.1). This is a from-scratch
+//! BPE: pre-tokenize on whitespace, seed the vocabulary with all bytes,
+//! then greedily merge the most frequent adjacent pair until the target
+//! vocabulary size is reached. Encoding applies merges in learned order;
+//! decoding concatenates the byte sequences back.
+
+use std::collections::HashMap;
+
+/// Token id type.
+pub type TokenId = u32;
+
+/// A trained BPE tokenizer.
+#[derive(Debug, Clone)]
+pub struct BpeTokenizer {
+    /// Merge rules in priority order: `(left, right) -> merged`.
+    merges: Vec<((TokenId, TokenId), TokenId)>,
+    /// Byte sequence for every token id.
+    token_bytes: Vec<Vec<u8>>,
+    /// Fast pair lookup.
+    merge_map: HashMap<(TokenId, TokenId), (u32, TokenId)>,
+}
+
+/// Tokens 0..=255 are the raw bytes.
+const BYTE_TOKENS: usize = 256;
+
+impl BpeTokenizer {
+    /// Train on a corpus of documents up to `vocab_size` tokens.
+    ///
+    /// # Panics
+    /// Panics if `vocab_size < 256` (the byte alphabet is the floor).
+    pub fn train<S: AsRef<str>>(corpus: &[S], vocab_size: usize) -> Self {
+        assert!(
+            vocab_size >= BYTE_TOKENS,
+            "vocab must cover the byte alphabet"
+        );
+        // Word frequency table (whitespace pre-tokenization).
+        let mut word_freq: HashMap<&str, u64> = HashMap::new();
+        for doc in corpus {
+            for w in doc.as_ref().split_whitespace() {
+                *word_freq.entry(w).or_insert(0) += 1;
+            }
+        }
+        // Each word as a token sequence (initially bytes).
+        let mut words: Vec<(Vec<TokenId>, u64)> = word_freq
+            .into_iter()
+            .map(|(w, f)| (w.bytes().map(|b| b as TokenId).collect(), f))
+            .collect();
+        // Deterministic order regardless of hash seeds.
+        words.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let mut token_bytes: Vec<Vec<u8>> = (0..BYTE_TOKENS).map(|b| vec![b as u8]).collect();
+        let mut merges = Vec::new();
+
+        while token_bytes.len() < vocab_size {
+            // Count adjacent pairs, weighted by word frequency.
+            let mut pair_counts: HashMap<(TokenId, TokenId), u64> = HashMap::new();
+            for (toks, f) in &words {
+                for w in toks.windows(2) {
+                    *pair_counts.entry((w[0], w[1])).or_insert(0) += f;
+                }
+            }
+            // Most frequent pair; ties break toward the smaller pair so
+            // training is deterministic.
+            let Some((&pair, &count)) = pair_counts
+                .iter()
+                .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+            else {
+                break;
+            };
+            if count < 2 {
+                break; // nothing left worth merging
+            }
+            let new_id = token_bytes.len() as TokenId;
+            let mut bytes = token_bytes[pair.0 as usize].clone();
+            bytes.extend_from_slice(&token_bytes[pair.1 as usize]);
+            token_bytes.push(bytes);
+            merges.push((pair, new_id));
+            // Apply the merge to every word.
+            for (toks, _) in &mut words {
+                Self::apply_merge(toks, pair, new_id);
+            }
+        }
+
+        let merge_map = merges
+            .iter()
+            .enumerate()
+            .map(|(rank, &(pair, id))| (pair, (rank as u32, id)))
+            .collect();
+        BpeTokenizer {
+            merges,
+            token_bytes,
+            merge_map,
+        }
+    }
+
+    fn apply_merge(toks: &mut Vec<TokenId>, pair: (TokenId, TokenId), new_id: TokenId) {
+        let mut i = 0;
+        while i + 1 < toks.len() {
+            if toks[i] == pair.0 && toks[i + 1] == pair.1 {
+                toks[i] = new_id;
+                toks.remove(i + 1);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Vocabulary size (bytes + learned merges).
+    pub fn vocab_size(&self) -> usize {
+        self.token_bytes.len()
+    }
+
+    /// Number of learned merges.
+    pub fn merge_count(&self) -> usize {
+        self.merges.len()
+    }
+
+    /// Encode text into token ids (whitespace becomes word boundaries; a
+    /// space byte token joins words so decoding can restore them).
+    pub fn encode(&self, text: &str) -> Vec<TokenId> {
+        let mut out = Vec::new();
+        let mut first = true;
+        for word in text.split_whitespace() {
+            if !first {
+                out.push(b' ' as TokenId);
+            }
+            first = false;
+            let mut toks: Vec<TokenId> = word.bytes().map(|b| b as TokenId).collect();
+            // Repeatedly apply the lowest-rank applicable merge.
+            loop {
+                let best = toks
+                    .windows(2)
+                    .filter_map(|w| self.merge_map.get(&(w[0], w[1])))
+                    .min_by_key(|&&(rank, _)| rank);
+                match best {
+                    Some(&(_, id)) => {
+                        let pair = *self
+                            .merges
+                            .iter()
+                            .find(|&&(_, mid)| mid == id)
+                            .map(|(p, _)| p)
+                            .unwrap();
+                        Self::apply_merge(&mut toks, pair, id);
+                    }
+                    None => break,
+                }
+            }
+            out.extend(toks);
+        }
+        out
+    }
+
+    /// Decode token ids back to text.
+    ///
+    /// # Panics
+    /// Panics on an out-of-vocabulary id or invalid UTF-8 (cannot happen
+    /// for ids produced by [`encode`](Self::encode) on valid text).
+    pub fn decode(&self, tokens: &[TokenId]) -> String {
+        let mut bytes = Vec::new();
+        for &t in tokens {
+            bytes.extend_from_slice(&self.token_bytes[t as usize]);
+        }
+        String::from_utf8(bytes).expect("token stream decodes to UTF-8")
+    }
+
+    /// Compression: bytes of text per token, over a sample.
+    pub fn bytes_per_token(&self, text: &str) -> f64 {
+        let toks = self.encode(text);
+        if toks.is_empty() {
+            return 0.0;
+        }
+        text.split_whitespace().collect::<Vec<_>>().join(" ").len() as f64 / toks.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusGenerator;
+    use acme_sim_core::SimRng;
+
+    fn sample_corpus() -> Vec<String> {
+        let mut rng = SimRng::new(1);
+        CorpusGenerator::new(800, 60.0)
+            .generate(&mut rng, 200)
+            .into_iter()
+            .map(|d| d.text)
+            .collect()
+    }
+
+    #[test]
+    fn trains_to_requested_vocab() {
+        let tok = BpeTokenizer::train(&sample_corpus(), 512);
+        assert_eq!(tok.vocab_size(), 512);
+        assert_eq!(tok.merge_count(), 256);
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let corpus = sample_corpus();
+        let tok = BpeTokenizer::train(&corpus, 600);
+        for doc in corpus.iter().take(20) {
+            let normalized = doc.split_whitespace().collect::<Vec<_>>().join(" ");
+            assert_eq!(tok.decode(&tok.encode(doc)), normalized);
+        }
+        // Unseen text still round-trips (byte fallback).
+        assert_eq!(
+            tok.decode(&tok.encode("entirely unseen words 123")),
+            "entirely unseen words 123"
+        );
+    }
+
+    #[test]
+    fn merges_compress_text() {
+        let corpus = sample_corpus();
+        let bytes_only = BpeTokenizer::train(&corpus, 256);
+        let trained = BpeTokenizer::train(&corpus, 1024);
+        let text = &corpus[0];
+        let raw = bytes_only.encode(text).len();
+        let merged = trained.encode(text).len();
+        assert!(
+            (merged as f64) < raw as f64 * 0.6,
+            "1024-vocab BPE should cut tokens: {merged} vs {raw}"
+        );
+        assert!(trained.bytes_per_token(text) > 1.5);
+    }
+
+    #[test]
+    fn frequent_words_become_single_tokens() {
+        // A corpus dominated by one word: it must merge into one token.
+        let corpus: Vec<String> = vec!["banana banana banana banana banana".to_owned(); 50];
+        let tok = BpeTokenizer::train(&corpus, 280);
+        assert_eq!(tok.encode("banana").len(), 1);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let corpus = sample_corpus();
+        let a = BpeTokenizer::train(&corpus, 400);
+        let b = BpeTokenizer::train(&corpus, 400);
+        assert_eq!(a.merges, b.merges);
+        assert_eq!(a.encode(&corpus[3]), b.encode(&corpus[3]));
+    }
+
+    #[test]
+    fn stops_when_nothing_left_to_merge() {
+        let tok = BpeTokenizer::train(&["ab"], 10_000);
+        // Only one pair exists; training stops far short of the target.
+        assert!(tok.vocab_size() < 300);
+    }
+
+    #[test]
+    fn empty_input_encodes_empty() {
+        let tok = BpeTokenizer::train(&sample_corpus(), 300);
+        assert!(tok.encode("").is_empty());
+        assert_eq!(tok.decode(&[]), "");
+        assert_eq!(tok.bytes_per_token(""), 0.0);
+    }
+}

@@ -1,0 +1,222 @@
+//! The four-stage trial model behind Figure 13.
+//!
+//! An evaluation trial is: **model load** (remote storage or node-local
+//! shared memory) → **preprocess** (tokenization, CPU) → **inference**
+//! (GPU) → **metric computation** (CPU, possibly external). Only the
+//! inference stage drives the GPU; everything else is the idle time §4.2
+//! quantifies.
+
+use acme_cluster::SharedStorage;
+
+use crate::benchmarks::Dataset;
+
+/// What a trial stage is doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageKind {
+    /// Fetching model weights.
+    ModelLoad,
+    /// Tokenization and data preparation.
+    Preprocess,
+    /// GPU inference / generation.
+    Inference,
+    /// Metric computation / verification.
+    MetricCompute,
+}
+
+impl StageKind {
+    /// SM utilization while the stage runs, percent.
+    pub fn sm_util(self) -> f64 {
+        match self {
+            StageKind::ModelLoad => 0.0,
+            StageKind::Preprocess => 1.0,
+            StageKind::Inference => 85.0,
+            StageKind::MetricCompute => 0.0,
+        }
+    }
+}
+
+/// One trial's stage durations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialProfile {
+    /// Which dataset.
+    pub dataset: Dataset,
+    /// `(stage, seconds)` in execution order.
+    pub stages: Vec<(StageKind, f64)>,
+}
+
+impl TrialProfile {
+    /// A *coupled* trial loading a `model_gb` checkpoint from remote
+    /// storage under the given per-node trial concurrency — the baseline
+    /// configuration Figure 13 profiles.
+    pub fn coupled_remote(
+        dataset: Dataset,
+        storage: &SharedStorage,
+        model_gb: f64,
+        trials_per_node: u32,
+        nodes: u32,
+    ) -> Self {
+        let load = storage.remote_load_secs(model_gb, trials_per_node, nodes);
+        TrialProfile {
+            dataset,
+            stages: vec![
+                (StageKind::ModelLoad, load),
+                (StageKind::Preprocess, dataset.preprocess_secs),
+                (StageKind::Inference, dataset.inference_secs),
+                (StageKind::MetricCompute, dataset.metric_secs),
+            ],
+        }
+    }
+
+    /// A *decoupled* trial: model read from node-local shared memory, and
+    /// no metric stage on the GPU (a CPU job picks the outputs up).
+    pub fn decoupled_local(
+        dataset: Dataset,
+        storage: &SharedStorage,
+        model_gb: f64,
+        readers: u32,
+    ) -> Self {
+        let load = storage.local_load_secs(model_gb, readers);
+        TrialProfile {
+            dataset,
+            stages: vec![
+                (StageKind::ModelLoad, load),
+                (StageKind::Preprocess, dataset.preprocess_secs),
+                (StageKind::Inference, dataset.inference_secs),
+            ],
+        }
+    }
+
+    /// Total wall seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.stages.iter().map(|&(_, s)| s).sum()
+    }
+
+    /// Seconds spent in one stage kind.
+    pub fn stage_secs(&self, kind: StageKind) -> f64 {
+        self.stages
+            .iter()
+            .filter(|&&(k, _)| k == kind)
+            .map(|&(_, s)| s)
+            .sum()
+    }
+
+    /// Fraction of the trial spent in one stage kind.
+    pub fn stage_fraction(&self, kind: StageKind) -> f64 {
+        self.stage_secs(kind) / self.total_secs()
+    }
+
+    /// Fraction of the trial with an (effectively) idle GPU.
+    pub fn gpu_idle_fraction(&self) -> f64 {
+        1.0 - self.stage_fraction(StageKind::Inference)
+    }
+
+    /// `(time_s, sm_util)` samples at `interval_s` — the Figure-13 profile.
+    pub fn sm_timeline(&self, interval_s: f64) -> Vec<(f64, f64)> {
+        assert!(interval_s > 0.0, "interval must be positive");
+        let mut out = Vec::new();
+        let total = self.total_secs();
+        let mut t = 0.0;
+        while t < total {
+            out.push((t, self.util_at(t)));
+            t += interval_s;
+        }
+        out
+    }
+
+    fn util_at(&self, t: f64) -> f64 {
+        let mut acc = 0.0;
+        for &(kind, secs) in &self.stages {
+            acc += secs;
+            if t < acc {
+                return kind.sm_util();
+            }
+        }
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::by_name;
+
+    fn humaneval_fig13() -> TrialProfile {
+        // Figure 13's setting: a 7B model (14 GB of bf16 weights) loaded
+        // from Seren's contended storage path alongside ~60 sibling trials
+        // packed 8 per node.
+        TrialProfile::coupled_remote(
+            by_name("humaneval").unwrap(),
+            &SharedStorage::seren(),
+            14.0,
+            8,
+            8,
+        )
+    }
+
+    #[test]
+    fn figure13_stage_shares() {
+        let p = humaneval_fig13();
+        let front =
+            p.stage_fraction(StageKind::ModelLoad) + p.stage_fraction(StageKind::Preprocess);
+        let tail = p.stage_fraction(StageKind::MetricCompute);
+        // §4.2: ~29.5% before inference, ~19% trailing metric, ~51%
+        // actually on the GPU.
+        assert!((front - 0.295).abs() < 0.05, "front {front:.3}");
+        assert!((tail - 0.19).abs() < 0.04, "tail {tail:.3}");
+        assert!((p.stage_fraction(StageKind::Inference) - 0.515).abs() < 0.06);
+        assert!(p.gpu_idle_fraction() > 0.4);
+    }
+
+    #[test]
+    fn load_takes_over_a_minute_with_preprocess() {
+        let p = humaneval_fig13();
+        let pre_inference =
+            p.stage_secs(StageKind::ModelLoad) + p.stage_secs(StageKind::Preprocess);
+        // "consumes over 1 minute prior to the actual GPU inference".
+        assert!(pre_inference > 60.0, "pre-inference {pre_inference:.0}s");
+    }
+
+    #[test]
+    fn decoupled_trial_drops_load_and_metric_cost() {
+        let d = by_name("humaneval").unwrap();
+        let coupled = humaneval_fig13();
+        let decoupled = TrialProfile::decoupled_local(d, &SharedStorage::seren(), 14.0, 8);
+        assert!(decoupled.total_secs() < coupled.total_secs() - d.metric_secs);
+        assert_eq!(decoupled.stage_secs(StageKind::MetricCompute), 0.0);
+        assert!(decoupled.stage_secs(StageKind::ModelLoad) < 10.0);
+    }
+
+    #[test]
+    fn timeline_tracks_stages() {
+        let p = humaneval_fig13();
+        let tl = p.sm_timeline(1.0);
+        assert!(!tl.is_empty());
+        // Starts idle (loading), has an inference plateau, ends idle
+        // (metric computation).
+        assert_eq!(tl[0].1, 0.0);
+        assert!(tl.iter().any(|&(_, u)| u == 85.0));
+        assert_eq!(tl.last().unwrap().1, 0.0);
+        // The last 42 s are the idle sandbox run.
+        let total = p.total_secs();
+        let tail_idle = tl
+            .iter()
+            .filter(|&&(t, _)| t > total - 40.0)
+            .all(|&(_, u)| u == 0.0);
+        assert!(tail_idle);
+    }
+
+    #[test]
+    fn stage_fractions_sum_to_one() {
+        let p = humaneval_fig13();
+        let sum: f64 = [
+            StageKind::ModelLoad,
+            StageKind::Preprocess,
+            StageKind::Inference,
+            StageKind::MetricCompute,
+        ]
+        .into_iter()
+        .map(|k| p.stage_fraction(k))
+        .sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,56 @@
+//! Property-based tests for the evaluation subsystem.
+
+use acme_cluster::SharedStorage;
+use acme_evaluation::benchmarks::registry;
+use acme_evaluation::coordinator::{run, Scheduler};
+use acme_evaluation::trial::TrialProfile;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Makespan is positive, decreases (weakly) with more nodes, and the
+    /// full coordinator never loses to the baseline.
+    #[test]
+    fn makespan_sane(nodes in 1u32..12, subset in 1usize..63) {
+        let datasets: Vec<_> = registry().into_iter().take(subset).collect();
+        let storage = SharedStorage::seren();
+        let base = run(Scheduler::Baseline, &datasets, nodes, &storage, 14.0);
+        let full = run(Scheduler::FullCoordinator, &datasets, nodes, &storage, 14.0);
+        prop_assert!(base.makespan_secs > 0.0);
+        prop_assert!(full.makespan_secs <= base.makespan_secs + 1e-6);
+        let more = run(Scheduler::Baseline, &datasets, nodes + 1, &storage, 14.0);
+        prop_assert!(more.makespan_secs <= base.makespan_secs + 1e-6);
+    }
+
+    /// GPU-busy accounting: occupancy is a valid fraction; the coordinator
+    /// performs exactly one remote load per node.
+    #[test]
+    fn accounting_invariants(nodes in 1u32..8) {
+        let datasets = registry();
+        let storage = SharedStorage::seren();
+        for s in [Scheduler::Baseline, Scheduler::DecoupledLoadingOnly, Scheduler::DecoupledMetricsOnly, Scheduler::FullCoordinator] {
+            let out = run(s, &datasets, nodes, &storage, 14.0);
+            let occ = out.gpu_occupancy();
+            prop_assert!(occ > 0.0 && occ <= 1.0 + 1e-9, "{s:?} occupancy {occ}");
+        }
+        let full = run(Scheduler::FullCoordinator, &datasets, nodes, &storage, 14.0);
+        prop_assert_eq!(full.remote_loads, nodes as usize);
+        let base = run(Scheduler::Baseline, &datasets, nodes, &storage, 14.0);
+        prop_assert_eq!(base.remote_loads, datasets.len());
+    }
+
+    /// Trial profiles: stage fractions sum to one and the decoupled
+    /// variant is never longer than the coupled one.
+    #[test]
+    fn trial_profile_invariants(idx in 0usize..63, trials in 1u32..16, nodes in 1u32..8) {
+        let d = registry()[idx];
+        let storage = SharedStorage::seren();
+        let coupled = TrialProfile::coupled_remote(d, &storage, 14.0, trials, nodes);
+        let decoupled = TrialProfile::decoupled_local(d, &storage, 14.0, trials);
+        let total: f64 = coupled.stages.iter().map(|&(_, s)| s).sum();
+        prop_assert!((total - coupled.total_secs()).abs() < 1e-9);
+        prop_assert!(decoupled.total_secs() <= coupled.total_secs() + 1e-9);
+        prop_assert!(coupled.gpu_idle_fraction() > 0.0 && coupled.gpu_idle_fraction() < 1.0);
+    }
+}

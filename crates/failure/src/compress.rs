@@ -1,0 +1,268 @@
+//! Real-time log compression (§6.1, "Real-time Log Compression").
+//!
+//! Pretraining logs reach hundreds of MB, mostly repeated metric records.
+//! The system keeps a growing set of **Filter Rules** — line templates that
+//! match regular output — and strips matching lines before diagnosis. New
+//! rules are written by the **Log Agent**: the paper uses an LLM that reads
+//! log segments and emits regular expressions, with self-consistency voting
+//! across repeated passes; our deterministic stand-in mines frequent line
+//! templates (digits and floats abstracted away) and applies the same
+//! voting idea across log segments, so rules learned on one job transfer to
+//! repeated/similar tasks exactly as described.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Replace every digit run (including decimals, exponents, hex fragments)
+/// with `#`, producing the line's template.
+pub fn normalize(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut in_number = false;
+    for c in line.chars() {
+        let numeric =
+            c.is_ascii_digit() || (in_number && (c == '.' || c == 'e' || c == '-' || c == '+'));
+        if numeric {
+            if !in_number {
+                out.push('#');
+                in_number = true;
+            }
+        } else {
+            in_number = false;
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Lines that must never be filtered, whatever the rules say: anything that
+/// smells like an error or a traceback.
+fn is_protected(line: &str) -> bool {
+    line.contains("ERROR")
+        || line.contains("Error")
+        || line.contains("Traceback")
+        || line.contains("FATAL")
+        || line.contains("  File \"")
+}
+
+/// The rule store + compressor.
+#[derive(Debug, Clone, Default)]
+pub struct LogCompressor {
+    rules: BTreeSet<String>,
+}
+
+impl LogCompressor {
+    /// An empty compressor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of rules held.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Install one template rule.
+    pub fn add_rule(&mut self, template: String) {
+        self.rules.insert(template);
+    }
+
+    /// Install many rules (e.g., transferred from a similar past task).
+    pub fn add_rules(&mut self, templates: impl IntoIterator<Item = String>) {
+        self.rules.extend(templates);
+    }
+
+    /// Whether a line would be stripped.
+    pub fn matches(&self, line: &str) -> bool {
+        !is_protected(line) && self.rules.contains(&normalize(line))
+    }
+
+    /// Strip regular output; keep everything else (order preserved).
+    pub fn compress<'a>(&self, lines: &'a [String]) -> Vec<&'a String> {
+        lines.iter().filter(|l| !self.matches(l)).collect()
+    }
+
+    /// Bytes-kept over bytes-in for a line set.
+    pub fn compression_ratio(&self, lines: &[String]) -> f64 {
+        let total: usize = lines.iter().map(|l| l.len() + 1).sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let kept: usize = self.compress(lines).iter().map(|l| l.len() + 1).sum();
+        kept as f64 / total as f64
+    }
+}
+
+/// The template-mining Log Agent.
+#[derive(Debug, Clone, Copy)]
+pub struct LogAgent {
+    /// Minimum occurrences (per segment) for a template to count as
+    /// "regular output".
+    pub min_count: usize,
+    /// Number of segments for self-consistency voting.
+    pub segments: usize,
+    /// Votes required to accept a template.
+    pub votes_required: usize,
+}
+
+impl Default for LogAgent {
+    fn default() -> Self {
+        LogAgent {
+            min_count: 3,
+            segments: 3,
+            votes_required: 2,
+        }
+    }
+}
+
+impl LogAgent {
+    /// Mine filter-rule templates from a log, with self-consistency: the
+    /// log is split into segments, each segment proposes its frequent
+    /// templates, and only templates proposed by at least
+    /// `votes_required` segments are accepted (the deterministic analogue
+    /// of having another LLM vote over repeated Log-Agent passes).
+    pub fn mine_rules(&self, lines: &[String]) -> Vec<String> {
+        assert!(self.segments >= self.votes_required && self.votes_required >= 1);
+        if lines.is_empty() {
+            return vec![];
+        }
+        let seg_len = lines.len().div_ceil(self.segments);
+        let mut votes: BTreeMap<String, usize> = BTreeMap::new();
+        for seg in lines.chunks(seg_len.max(1)) {
+            let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+            for line in seg {
+                if is_protected(line) {
+                    continue;
+                }
+                *counts.entry(normalize(line)).or_insert(0) += 1;
+            }
+            for (tpl, c) in counts {
+                if c >= self.min_count {
+                    *votes.entry(tpl).or_insert(0) += 1;
+                }
+            }
+        }
+        votes
+            .into_iter()
+            .filter(|&(_, v)| v >= self.votes_required)
+            .map(|(tpl, _)| tpl)
+            .collect()
+    }
+
+    /// Mine rules and install them in one step; returns how many new rules
+    /// were learned.
+    pub fn learn_into(&self, compressor: &mut LogCompressor, lines: &[String]) -> usize {
+        let before = compressor.rule_count();
+        compressor.add_rules(self.mine_rules(lines));
+        compressor.rule_count() - before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logs::LogBundle;
+    use crate::taxonomy::FailureReason;
+    use acme_sim_core::SimRng;
+
+    #[test]
+    fn normalize_abstracts_numbers() {
+        assert_eq!(
+            normalize("INFO train: step=120 loss=2.0481 lr=4.00e-04"),
+            "INFO train: step=# loss=# lr=#"
+        );
+        assert_eq!(normalize("no numbers here"), "no numbers here");
+        assert_eq!(normalize("x999y"), "x#y");
+    }
+
+    #[test]
+    fn same_template_different_values_collide() {
+        let a = normalize("INFO grad_norm: step=1 norm=1.234");
+        let b = normalize("INFO grad_norm: step=999 norm=0.777");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn agent_learns_metric_templates_not_errors() {
+        let mut rng = SimRng::new(1);
+        let bundle = LogBundle::generate(FailureReason::CudaError, 300, &mut rng);
+        let rules = LogAgent::default().mine_rules(&bundle.lines);
+        assert!(rules.len() >= 3, "learned {} rules", rules.len());
+        assert!(rules.iter().all(|r| !r.contains("Error")), "{rules:?}");
+    }
+
+    #[test]
+    fn compression_keeps_errors_and_strips_noise() {
+        let mut rng = SimRng::new(2);
+        let bundle = LogBundle::generate(FailureReason::NvLinkError, 500, &mut rng);
+        let mut c = LogCompressor::new();
+        LogAgent::default().learn_into(&mut c, &bundle.lines);
+        let kept = c.compress(&bundle.lines);
+        // Huge reduction...
+        assert!(
+            kept.len() < bundle.lines.len() / 10,
+            "kept {} of {}",
+            kept.len(),
+            bundle.lines.len()
+        );
+        assert!(c.compression_ratio(&bundle.lines) < 0.1);
+        // ...but every error line survives.
+        let text: String = kept
+            .iter()
+            .map(|s| s.as_str())
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(text.contains("NVLink Error"));
+        assert!(text.contains("Watchdog caught collective operation timeout"));
+        assert!(text.contains("Traceback"));
+    }
+
+    #[test]
+    fn rules_transfer_to_similar_tasks() {
+        // Learn on one job, apply to a fresh log of the same shape — the
+        // paper's "repetitive or similar tasks" fast path.
+        let mut rng = SimRng::new(3);
+        let first = LogBundle::generate(FailureReason::RuntimeError, 400, &mut rng);
+        let mut c = LogCompressor::new();
+        LogAgent::default().learn_into(&mut c, &first.lines);
+        let second = LogBundle::generate(FailureReason::ValueError, 400, &mut rng);
+        let ratio = c.compression_ratio(&second.lines);
+        assert!(ratio < 0.1, "transfer ratio {ratio:.3}");
+    }
+
+    #[test]
+    fn protected_lines_never_match_even_if_ruled() {
+        let mut c = LogCompressor::new();
+        c.add_rule(normalize("ERROR rank 3: CUDA error: boom 1"));
+        assert!(!c.matches("ERROR rank 3: CUDA error: boom 1"));
+    }
+
+    #[test]
+    fn self_consistency_rejects_segment_local_patterns() {
+        // A template frequent in only one segment (burst) is rejected.
+        let mut lines: Vec<String> = Vec::new();
+        for i in 0..30 {
+            lines.push(format!("INFO steady: tick {i}"));
+        }
+        // A burst of 5 identical-template lines confined to the tail third.
+        for i in 0..5 {
+            lines.push(format!("WARN burst: retry {i}"));
+        }
+        let agent = LogAgent {
+            min_count: 3,
+            segments: 3,
+            votes_required: 2,
+        };
+        let rules = agent.mine_rules(&lines);
+        assert!(rules.iter().any(|r| r.starts_with("INFO steady")));
+        assert!(
+            !rules.iter().any(|r| r.starts_with("WARN burst")),
+            "{rules:?}"
+        );
+    }
+
+    #[test]
+    fn empty_log_yields_nothing() {
+        assert!(LogAgent::default().mine_rules(&[]).is_empty());
+        let c = LogCompressor::new();
+        assert_eq!(c.compression_ratio(&[]), 1.0);
+    }
+}

@@ -1,0 +1,478 @@
+//! Failure diagnosis (§6.1, "LLM-assisted Automated Diagnosis").
+//!
+//! Two stages, exactly as Figure 15 lays them out:
+//!
+//! 1. **Rule-based diagnosis** — compressed error logs are matched against
+//!    a precedence-ordered pattern set built up from past incidents.
+//!    Precedence encodes root-cause knowledge: hardware signatures outrank
+//!    the NCCL/runtime noise they cascade into, resolving the paper's
+//!    "NCCLTimeout + CUDAError + RuntimeErrors, root cause CUDAError" case.
+//! 2. **Failure Agent** — when no rule fires, the compressed log is
+//!    embedded (hashed bag-of-words — the deterministic stand-in for the
+//!    paper's embedding model) and classified against a vector store of
+//!    labeled exemplars with a top-k self-consistency vote. Every agent
+//!    diagnosis writes a new rule, so the rule set *learns* and the agent
+//!    is consulted less and less — the paper's continuous-improvement loop.
+
+use std::collections::BTreeMap;
+
+use crate::compress::{LogAgent, LogCompressor};
+use crate::taxonomy::{FailureCategory, FailureReason};
+
+/// Embedding dimensionality for the hashed bag-of-words.
+const EMBED_DIM: usize = 64;
+
+/// Below this cosine similarity the agent refuses to guess and escalates
+/// to a human.
+const CONFIDENCE_THRESHOLD: f64 = 0.20;
+
+/// Who produced the diagnosis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiagnosisSource {
+    /// A pre-existing or learned rule.
+    Rule,
+    /// The vector-store Failure Agent.
+    Agent,
+}
+
+/// The pipeline's verdict for one failed job.
+#[derive(Debug, Clone)]
+pub struct DiagnosisReport {
+    /// Root cause.
+    pub reason: FailureReason,
+    /// Which stage decided.
+    pub source: DiagnosisSource,
+    /// Whether this is infrastructure trouble the recovery system should
+    /// handle end-to-end.
+    pub infrastructure: bool,
+    /// Suggested mitigation for the user / operations team.
+    pub mitigation: String,
+}
+
+/// FNV-1a, the token hasher for embeddings.
+fn fnv1a(token: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in token.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Hashed bag-of-words embedding, L2-normalized.
+fn embed(text: &str) -> [f64; EMBED_DIM] {
+    let mut v = [0.0; EMBED_DIM];
+    for token in text.split_whitespace() {
+        let h = fnv1a(token);
+        v[(h % EMBED_DIM as u64) as usize] += 1.0;
+    }
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in &mut v {
+            *x /= norm;
+        }
+    }
+    v
+}
+
+fn cosine(a: &[f64; EMBED_DIM], b: &[f64; EMBED_DIM]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// A labeled exemplar in the retrieval repository.
+#[derive(Debug, Clone)]
+struct Exemplar {
+    vector: [f64; EMBED_DIM],
+    label: FailureReason,
+}
+
+/// The end-to-end diagnosis pipeline.
+#[derive(Debug, Clone)]
+pub struct DiagnosisPipeline {
+    compressor: LogCompressor,
+    log_agent: LogAgent,
+    /// `(substring pattern, reason)`, highest precedence first.
+    rules: Vec<(String, FailureReason)>,
+    store: Vec<Exemplar>,
+    /// Counters for the §6.1 evaluation.
+    pub stats: DiagnosisStats,
+}
+
+/// Operation counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DiagnosisStats {
+    /// Diagnoses resolved by rules.
+    pub by_rule: u32,
+    /// Diagnoses resolved by the agent.
+    pub by_agent: u32,
+    /// Cases escalated to a human (low confidence).
+    pub escalated: u32,
+}
+
+impl DiagnosisStats {
+    /// Total failures processed.
+    pub fn total(&self) -> u32 {
+        self.by_rule + self.by_agent + self.escalated
+    }
+
+    /// Fraction handled without a human — the §6.1 "reduces manual
+    /// intervention by ~90%" metric (baseline: every failure manual).
+    pub fn automation_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        1.0 - self.escalated as f64 / self.total() as f64
+    }
+}
+
+/// Precedence order for rule matching: hardware first (they cascade into
+/// everything else), then framework, then script.
+fn precedence(reason: FailureReason) -> u8 {
+    use FailureReason::*;
+    match reason {
+        NvLinkError => 0,
+        EccError => 1,
+        NodeFailure => 2,
+        CudaError => 3, // after NVLink/ECC: both cascade into CUDA errors
+        NetworkError => 4,
+        S3StorageError => 5,
+        NcclRemoteError => 6,
+        NcclTimeoutError => 7,
+        ConnectionError => 8,
+        DataloaderKilled => 9,
+        OutOfMemoryError => 10,
+        ModelLoadingError => 11,
+        DatasetLoadingError => 12,
+        AttributeError => 13,
+        AssertionError => 14,
+        ValueError => 15,
+        ZeroDivisionError => 16,
+        TypeError => 17,
+        FileNotFoundError => 18,
+        OsError => 19,
+        NameError => 20,
+        PermissionError => 21,
+        ImportError => 22,
+        KeyError => 23,
+        SyntaxError => 24,
+        ArgumentError => 25,
+        CalledProcessError => 26,
+        IndexError => 27,
+        RuntimeError => 28, // generic: only when nothing specific matched
+    }
+}
+
+/// The characteristic substring a rule matches for each reason (a stable
+/// fragment of the error signature).
+fn rule_pattern(reason: FailureReason) -> &'static str {
+    use FailureReason::*;
+    match reason {
+        NvLinkError => "NVLink Error",
+        CudaError => "CUDA error:",
+        NodeFailure => "node health check failed",
+        EccError => "uncorrectable ECC error",
+        NetworkError => "transport retry counter exceeded",
+        ConnectionError => "Max retries exceeded",
+        S3StorageError => "S3StorageError",
+        NcclTimeoutError => "Watchdog caught collective operation timeout",
+        NcclRemoteError => "ncclRemoteError",
+        DataloaderKilled => "DataLoader worker",
+        AttributeError => "AttributeError:",
+        OutOfMemoryError => "CUDA out of memory",
+        RuntimeError => "RuntimeError:",
+        AssertionError => "AssertionError:",
+        ValueError => "ValueError:",
+        ZeroDivisionError => "ZeroDivisionError:",
+        ModelLoadingError => "ModelLoadingError",
+        DatasetLoadingError => "DatasetLoadingError",
+        FileNotFoundError => "FileNotFoundError:",
+        OsError => "OSError:",
+        TypeError => "TypeError:",
+        NameError => "NameError:",
+        PermissionError => "PermissionError:",
+        ImportError => "ImportError:",
+        KeyError => "KeyError:",
+        SyntaxError => "SyntaxError:",
+        ArgumentError => "ArgumentError:",
+        CalledProcessError => "CalledProcessError:",
+        IndexError => "IndexError:",
+    }
+}
+
+fn mitigation(reason: FailureReason) -> String {
+    match reason.category() {
+        FailureCategory::Infrastructure => format!(
+            "{}: run hardware detection, cordon implicated nodes, auto-restart from the last checkpoint",
+            reason.label()
+        ),
+        FailureCategory::Framework => format!(
+            "{}: inspect job configuration (shapes, dtypes, memory budget) and resubmit",
+            reason.label()
+        ),
+        FailureCategory::Script => format!(
+            "{}: fix the user script and resubmit",
+            reason.label()
+        ),
+    }
+}
+
+impl DiagnosisPipeline {
+    /// A pipeline seeded with rules for `seeded_rules` reasons and vector
+    /// exemplars for **all** reasons (the retrieval repository built from
+    /// past resolved incidents).
+    pub fn new(seeded_rules: &[FailureReason]) -> Self {
+        let mut rules: Vec<(String, FailureReason)> = seeded_rules
+            .iter()
+            .map(|&r| (rule_pattern(r).to_owned(), r))
+            .collect();
+        rules.sort_by_key(|&(_, r)| precedence(r));
+        let store = FailureReason::ALL
+            .iter()
+            .map(|&r| Exemplar {
+                vector: embed(crate::logs::signature(r)),
+                label: r,
+            })
+            .collect();
+        DiagnosisPipeline {
+            compressor: LogCompressor::new(),
+            log_agent: LogAgent::default(),
+            rules,
+            store,
+            stats: DiagnosisStats::default(),
+        }
+    }
+
+    /// A pipeline with the full rule set (mature deployment).
+    pub fn with_all_rules() -> Self {
+        Self::new(&FailureReason::ALL)
+    }
+
+    /// Current number of rules (grows as the agent teaches it).
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Number of filter rules the compressor holds.
+    pub fn filter_rule_count(&self) -> usize {
+        self.compressor.rule_count()
+    }
+
+    /// Diagnose one raw log. Returns `None` when even the agent is not
+    /// confident — the case that still needs a human.
+    pub fn diagnose(&mut self, raw_lines: &[String]) -> Option<DiagnosisReport> {
+        // Stage 0: compression — learn filter rules on the fly, then strip.
+        self.log_agent.learn_into(&mut self.compressor, raw_lines);
+        let compressed: Vec<&String> = self.compressor.compress(raw_lines);
+
+        // Stage 1: precedence-ordered rule matching.
+        for (pattern, reason) in &self.rules {
+            if compressed.iter().any(|l| l.contains(pattern.as_str())) {
+                self.stats.by_rule += 1;
+                return Some(DiagnosisReport {
+                    reason: *reason,
+                    source: DiagnosisSource::Rule,
+                    infrastructure: reason.is_infrastructure(),
+                    mitigation: mitigation(*reason),
+                });
+            }
+        }
+
+        // Stage 2: the Failure Agent over the vector store, with a top-3
+        // self-consistency vote. The final traceback line is weighted
+        // heavily — it is where Python puts the actual exception.
+        let error_lines: Vec<&str> = compressed
+            .iter()
+            .map(|s| s.as_str())
+            .filter(|l| l.contains("ERROR") || l.contains("Error"))
+            .collect();
+        if error_lines.is_empty() {
+            self.stats.escalated += 1;
+            return None;
+        }
+        let mut query_text = error_lines.join(" ");
+        if let Some(last) = error_lines.last() {
+            // Triple-weight the final line.
+            query_text.push(' ');
+            query_text.push_str(last);
+            query_text.push(' ');
+            query_text.push_str(last);
+        }
+        let q = embed(&query_text);
+        let mut scored: Vec<(f64, FailureReason)> = self
+            .store
+            .iter()
+            .map(|e| (cosine(&q, &e.vector), e.label))
+            .collect();
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0));
+        if scored.is_empty() || scored[0].0 < CONFIDENCE_THRESHOLD {
+            self.stats.escalated += 1;
+            return None;
+        }
+        // Majority vote over the top 3 (nearest wins ties).
+        let top = &scored[..scored.len().min(3)];
+        let mut votes: BTreeMap<FailureReason, usize> = BTreeMap::new();
+        for &(_, r) in top {
+            *votes.entry(r).or_insert(0) += 1;
+        }
+        let best = top
+            .iter()
+            .max_by(|a, b| votes[&a.1].cmp(&votes[&b.1]).then(a.0.total_cmp(&b.0)))
+            .unwrap()
+            .1;
+
+        // Continuous learning: write the rule so the next identical failure
+        // is resolved by stage 1.
+        if !self.rules.iter().any(|(_, r)| *r == best) {
+            self.rules.push((rule_pattern(best).to_owned(), best));
+            self.rules.sort_by_key(|&(_, r)| precedence(r));
+        }
+
+        self.stats.by_agent += 1;
+        Some(DiagnosisReport {
+            reason: best,
+            source: DiagnosisSource::Agent,
+            infrastructure: best.is_infrastructure(),
+            mitigation: mitigation(best),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logs::LogBundle;
+    use acme_sim_core::SimRng;
+
+    fn bundle(reason: FailureReason, seed: u64) -> LogBundle {
+        let mut rng = SimRng::new(seed);
+        LogBundle::generate(reason, 200, &mut rng)
+    }
+
+    #[test]
+    fn rules_resolve_root_cause_through_cascades() {
+        let mut p = DiagnosisPipeline::with_all_rules();
+        // NVLink failure whose log also contains NCCL timeout + CUDA error.
+        let b = bundle(FailureReason::NvLinkError, 1);
+        let r = p.diagnose(&b.lines).unwrap();
+        assert_eq!(r.reason, FailureReason::NvLinkError);
+        assert_eq!(r.source, DiagnosisSource::Rule);
+        assert!(r.infrastructure);
+    }
+
+    #[test]
+    fn cuda_outranks_its_nccl_cascade() {
+        let mut p = DiagnosisPipeline::with_all_rules();
+        let b = bundle(FailureReason::CudaError, 2);
+        let r = p.diagnose(&b.lines).unwrap();
+        // The paper's worked example: NCCLTimeout + CUDAError present,
+        // root cause CUDAError.
+        assert_eq!(r.reason, FailureReason::CudaError);
+    }
+
+    #[test]
+    fn full_rule_set_classifies_every_reason() {
+        let mut p = DiagnosisPipeline::with_all_rules();
+        for (i, &reason) in FailureReason::ALL.iter().enumerate() {
+            let b = bundle(reason, 100 + i as u64);
+            let r = p.diagnose(&b.lines).unwrap();
+            assert_eq!(
+                r.reason, reason,
+                "misdiagnosed {reason:?} as {:?}",
+                r.reason
+            );
+        }
+        assert_eq!(p.stats.by_rule, 29);
+        assert_eq!(p.stats.escalated, 0);
+    }
+
+    #[test]
+    fn agent_covers_unruled_reasons_and_teaches_rules() {
+        // Seed rules for infrastructure only; script errors must go through
+        // the agent the first time, then hit the learned rule.
+        let seeded: Vec<FailureReason> = FailureReason::ALL
+            .iter()
+            .copied()
+            .filter(|r| r.is_infrastructure())
+            .collect();
+        let mut p = DiagnosisPipeline::new(&seeded);
+        let before_rules = p.rule_count();
+
+        let first = p
+            .diagnose(&bundle(FailureReason::KeyError, 7).lines)
+            .unwrap();
+        assert_eq!(first.reason, FailureReason::KeyError);
+        assert_eq!(first.source, DiagnosisSource::Agent);
+        assert_eq!(p.rule_count(), before_rules + 1);
+
+        let second = p
+            .diagnose(&bundle(FailureReason::KeyError, 8).lines)
+            .unwrap();
+        assert_eq!(
+            second.source,
+            DiagnosisSource::Rule,
+            "learned rule should fire"
+        );
+    }
+
+    #[test]
+    fn automation_fraction_is_high() {
+        let mut p = DiagnosisPipeline::new(&[FailureReason::NvLinkError]);
+        let mut rng = SimRng::new(11);
+        for i in 0..200u64 {
+            let reason = *rng.pick(&FailureReason::ALL);
+            let b = LogBundle::generate(reason, 100, &mut rng);
+            let _ = p.diagnose(&b.lines);
+            let _ = i;
+        }
+        // §6.1: manual intervention reduced by ~90%.
+        assert!(
+            p.stats.automation_fraction() > 0.9,
+            "automation {:.3}",
+            p.stats.automation_fraction()
+        );
+    }
+
+    #[test]
+    fn garbage_log_escalates() {
+        let mut p = DiagnosisPipeline::with_all_rules();
+        let lines: Vec<String> = (0..50).map(|i| format!("INFO tick {i}")).collect();
+        assert!(p.diagnose(&lines).is_none());
+        assert_eq!(p.stats.escalated, 1);
+    }
+
+    #[test]
+    fn mitigation_text_tracks_category() {
+        let mut p = DiagnosisPipeline::with_all_rules();
+        let infra = p
+            .diagnose(&bundle(FailureReason::EccError, 20).lines)
+            .unwrap();
+        assert!(infra.mitigation.contains("cordon"));
+        let script = p
+            .diagnose(&bundle(FailureReason::TypeError, 21).lines)
+            .unwrap();
+        assert!(script.mitigation.contains("fix the user script"));
+        assert!(!script.infrastructure);
+    }
+
+    #[test]
+    fn filter_rules_accumulate_across_jobs() {
+        let mut p = DiagnosisPipeline::with_all_rules();
+        let _ = p.diagnose(&bundle(FailureReason::ValueError, 30).lines);
+        let after_one = p.filter_rule_count();
+        assert!(after_one > 0);
+        let _ = p.diagnose(&bundle(FailureReason::OsError, 31).lines);
+        assert!(p.filter_rule_count() >= after_one);
+    }
+
+    #[test]
+    fn embedding_is_normalized_and_stable() {
+        let a = embed("CUDA error: an illegal memory access was encountered");
+        let b = embed("CUDA error: an illegal memory access was encountered");
+        assert_eq!(a, b);
+        let norm: f64 = a.iter().map(|x| x * x).sum::<f64>();
+        assert!((norm - 1.0).abs() < 1e-9);
+        // Similar strings score higher than dissimilar ones.
+        let q = embed("ERROR rank 3: CUDA error: an illegal memory access was encountered");
+        assert!(cosine(&q, &a) > cosine(&q, &embed("KeyError: 'rotary_emb_base'")));
+    }
+}

@@ -1,0 +1,210 @@
+//! Recovery decisions (§5.3, §6.1.3).
+//!
+//! Three restart triggers exist: an error inside the job, an anomalous
+//! training metric (a *loss spike*), or a stuck process. The recovery
+//! manager maps a diagnosis to an action:
+//!
+//! * infrastructure faults → hardware detection, cordon the implicated
+//!   nodes, automatic restart from the last properly saved checkpoint;
+//! * transient service/framework hiccups with known workarounds
+//!   (auxiliary-service connection errors, the dataloader memory leak) →
+//!   automatic restart without cordoning;
+//! * loss spikes → revert to an *earlier healthy* checkpoint and skip the
+//!   offending data batches;
+//! * genuine framework/script bugs → hand the mitigation hint to the user.
+
+use crate::diagnose::DiagnosisReport;
+use crate::taxonomy::{FailureCategory, FailureReason};
+
+/// What the system does about a failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// Restart from the latest checkpoint, optionally after cordoning the
+    /// nodes the detection toolkit implicates.
+    AutoRestart {
+        /// Whether to run the two-round NCCL test and cordon nodes first.
+        cordon_nodes: bool,
+    },
+    /// Loss spike: roll back to an earlier healthy checkpoint and skip the
+    /// subsequent data batches.
+    RollbackAndSkipData,
+    /// Not automatically recoverable: surface the mitigation to the user.
+    NotifyUser {
+        /// Human-readable hint from the diagnosis.
+        hint: String,
+    },
+}
+
+impl RecoveryAction {
+    /// Whether a human must act before training resumes.
+    pub fn needs_human(&self) -> bool {
+        matches!(self, RecoveryAction::NotifyUser { .. })
+    }
+}
+
+/// The decision policy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecoveryManager;
+
+impl RecoveryManager {
+    /// Reasons that are auto-restartable despite not being infrastructure:
+    /// known-workaround framework issues.
+    fn auto_restartable_framework(reason: FailureReason) -> bool {
+        matches!(reason, FailureReason::DataloaderKilled)
+    }
+
+    /// Hardware reasons that warrant node detection + cordoning before the
+    /// restart (as opposed to transient service errors).
+    fn needs_cordon(reason: FailureReason) -> bool {
+        matches!(
+            reason,
+            FailureReason::NvLinkError
+                | FailureReason::CudaError
+                | FailureReason::EccError
+                | FailureReason::NodeFailure
+                | FailureReason::NetworkError
+                | FailureReason::NcclRemoteError
+                | FailureReason::NcclTimeoutError
+        )
+    }
+
+    /// Decide the action for a diagnosed failure.
+    pub fn decide(&self, report: &DiagnosisReport) -> RecoveryAction {
+        match report.reason.category() {
+            FailureCategory::Infrastructure => RecoveryAction::AutoRestart {
+                cordon_nodes: Self::needs_cordon(report.reason),
+            },
+            FailureCategory::Framework if Self::auto_restartable_framework(report.reason) => {
+                RecoveryAction::AutoRestart {
+                    cordon_nodes: false,
+                }
+            }
+            _ => RecoveryAction::NotifyUser {
+                hint: report.mitigation.clone(),
+            },
+        }
+    }
+
+    /// Decide the action for a loss spike (no diagnosis involved; the
+    /// pretraining framework raises this trigger itself).
+    pub fn decide_loss_spike(&self) -> RecoveryAction {
+        RecoveryAction::RollbackAndSkipData
+    }
+
+    /// Decide the action for a stuck job (no error thrown; watchdog fired).
+    /// Treated as potential infrastructure trouble: detect and restart.
+    pub fn decide_stuck(&self) -> RecoveryAction {
+        RecoveryAction::AutoRestart { cordon_nodes: true }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnose::{DiagnosisPipeline, DiagnosisSource};
+    use crate::logs::LogBundle;
+    use acme_sim_core::SimRng;
+
+    fn report_for(reason: FailureReason, seed: u64) -> DiagnosisReport {
+        let mut rng = SimRng::new(seed);
+        let b = LogBundle::generate(reason, 100, &mut rng);
+        DiagnosisPipeline::with_all_rules()
+            .diagnose(&b.lines)
+            .unwrap()
+    }
+
+    #[test]
+    fn hardware_faults_cordon_and_restart() {
+        let m = RecoveryManager;
+        for reason in [
+            FailureReason::NvLinkError,
+            FailureReason::EccError,
+            FailureReason::CudaError,
+            FailureReason::NodeFailure,
+        ] {
+            let a = m.decide(&report_for(reason, 1));
+            assert_eq!(
+                a,
+                RecoveryAction::AutoRestart { cordon_nodes: true },
+                "{reason:?}"
+            );
+            assert!(!a.needs_human());
+        }
+    }
+
+    #[test]
+    fn transient_service_errors_restart_without_cordon() {
+        let m = RecoveryManager;
+        for reason in [
+            FailureReason::ConnectionError,
+            FailureReason::S3StorageError,
+        ] {
+            let a = m.decide(&report_for(reason, 2));
+            assert_eq!(
+                a,
+                RecoveryAction::AutoRestart {
+                    cordon_nodes: false
+                },
+                "{reason:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dataloader_leak_is_auto_restartable() {
+        // Appendix B: the dataloader memory leak has a known workaround, so
+        // the job restarts without a human.
+        let a = RecoveryManager.decide(&report_for(FailureReason::DataloaderKilled, 3));
+        assert_eq!(
+            a,
+            RecoveryAction::AutoRestart {
+                cordon_nodes: false
+            }
+        );
+    }
+
+    #[test]
+    fn script_and_framework_bugs_go_to_the_user() {
+        let m = RecoveryManager;
+        for reason in [
+            FailureReason::TypeError,
+            FailureReason::AssertionError,
+            FailureReason::OutOfMemoryError,
+            FailureReason::SyntaxError,
+        ] {
+            let a = m.decide(&report_for(reason, 4));
+            assert!(a.needs_human(), "{reason:?} should page the user");
+            if let RecoveryAction::NotifyUser { hint } = a {
+                assert!(!hint.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn loss_spike_rolls_back_and_skips() {
+        assert_eq!(
+            RecoveryManager.decide_loss_spike(),
+            RecoveryAction::RollbackAndSkipData
+        );
+        assert!(!RecoveryManager.decide_loss_spike().needs_human());
+    }
+
+    #[test]
+    fn stuck_jobs_are_treated_as_hardware_suspects() {
+        assert_eq!(
+            RecoveryManager.decide_stuck(),
+            RecoveryAction::AutoRestart { cordon_nodes: true }
+        );
+    }
+
+    #[test]
+    fn end_to_end_diagnose_then_decide() {
+        let mut rng = SimRng::new(5);
+        let b = LogBundle::generate(FailureReason::NvLinkError, 300, &mut rng);
+        let mut p = DiagnosisPipeline::with_all_rules();
+        let report = p.diagnose(&b.lines).unwrap();
+        assert_eq!(report.source, DiagnosisSource::Rule);
+        let action = RecoveryManager.decide(&report);
+        assert_eq!(action, RecoveryAction::AutoRestart { cordon_nodes: true });
+    }
+}

@@ -1,0 +1,163 @@
+//! Stuck-job detection (§5.3 trigger 3, Appendix A.1).
+//!
+//! Some infrastructure problems hang a job *without throwing an error* —
+//! the paper's users found such jobs "only to be addressed upon manual
+//! inspection ... leading to significant resource wastage". The watchdog
+//! closes that gap: it tracks iteration heartbeats and raises a stuck
+//! verdict when no progress lands within a timeout, feeding the same
+//! recovery path as a diagnosed failure
+//! ([`crate::RecoveryManager::decide_stuck`]).
+
+use acme_sim_core::{SimDuration, SimTime};
+
+/// The watchdog's view of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchdogState {
+    /// Progress within the timeout.
+    Healthy,
+    /// No heartbeat for longer than the timeout.
+    Stuck,
+}
+
+/// A per-job progress watchdog.
+#[derive(Debug, Clone)]
+pub struct Watchdog {
+    timeout: SimDuration,
+    last_heartbeat: SimTime,
+    last_iteration: u64,
+    fired: bool,
+}
+
+impl Watchdog {
+    /// A watchdog that declares a job stuck after `timeout` without a new
+    /// iteration. The job is considered alive at `start`.
+    ///
+    /// # Panics
+    /// Panics on a zero timeout.
+    pub fn new(start: SimTime, timeout: SimDuration) -> Self {
+        assert!(!timeout.is_zero(), "timeout must be positive");
+        Watchdog {
+            timeout,
+            last_heartbeat: start,
+            last_iteration: 0,
+            fired: false,
+        }
+    }
+
+    /// The production default: 30 minutes without an iteration.
+    pub fn standard(start: SimTime) -> Self {
+        Self::new(start, SimDuration::from_mins(30))
+    }
+
+    /// Record a heartbeat: the job reports `iteration` at `now`. Only
+    /// *advancing* iterations count as progress — a job re-reporting the
+    /// same step is as stuck as a silent one.
+    pub fn heartbeat(&mut self, now: SimTime, iteration: u64) {
+        if iteration > self.last_iteration {
+            self.last_iteration = iteration;
+            self.last_heartbeat = now;
+            self.fired = false;
+        }
+    }
+
+    /// Evaluate the job's state at `now`.
+    pub fn check(&mut self, now: SimTime) -> WatchdogState {
+        if now.saturating_since(self.last_heartbeat) > self.timeout {
+            self.fired = true;
+            WatchdogState::Stuck
+        } else {
+            WatchdogState::Healthy
+        }
+    }
+
+    /// Whether the watchdog has ever fired since the last real progress.
+    pub fn has_fired(&self) -> bool {
+        self.fired
+    }
+
+    /// Time since the last progress, as of `now`.
+    pub fn silence(&self, now: SimTime) -> SimDuration {
+        now.saturating_since(self.last_heartbeat)
+    }
+}
+
+/// Resource wastage if a hang at `hang_at` goes unnoticed until a human
+/// checks at `noticed_at`, versus a watchdog firing after its timeout:
+/// `(manual_gpu_hours, watchdog_gpu_hours)`.
+pub fn hang_wastage(
+    gpus: u32,
+    hang_at: SimTime,
+    noticed_at: SimTime,
+    watchdog_timeout: SimDuration,
+) -> (f64, f64) {
+    assert!(noticed_at >= hang_at, "noticed before the hang");
+    let manual = (noticed_at - hang_at).as_hours_f64() * gpus as f64;
+    let auto = watchdog_timeout.as_hours_f64() * gpus as f64;
+    (manual, auto.min(manual))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(mins: u64) -> SimTime {
+        SimTime::from_secs(mins * 60)
+    }
+
+    #[test]
+    fn healthy_while_progressing() {
+        let mut w = Watchdog::standard(t(0));
+        for i in 1..10 {
+            w.heartbeat(t(i * 5), i);
+            assert_eq!(w.check(t(i * 5)), WatchdogState::Healthy);
+        }
+        assert!(!w.has_fired());
+    }
+
+    #[test]
+    fn fires_after_silence() {
+        let mut w = Watchdog::standard(t(0));
+        w.heartbeat(t(5), 1);
+        assert_eq!(w.check(t(30)), WatchdogState::Healthy);
+        assert_eq!(w.check(t(36)), WatchdogState::Stuck);
+        assert!(w.has_fired());
+        assert_eq!(w.silence(t(36)), SimDuration::from_mins(31));
+    }
+
+    #[test]
+    fn repeated_iteration_is_not_progress() {
+        // A hung NCCL collective often keeps the process alive and logging
+        // the same step.
+        let mut w = Watchdog::standard(t(0));
+        w.heartbeat(t(5), 7);
+        for m in [10u64, 20, 30, 40] {
+            w.heartbeat(t(m), 7); // same iteration, no progress
+        }
+        assert_eq!(w.check(t(36)), WatchdogState::Stuck);
+    }
+
+    #[test]
+    fn recovery_resets_the_clock() {
+        let mut w = Watchdog::standard(t(0));
+        w.heartbeat(t(5), 1);
+        assert_eq!(w.check(t(40)), WatchdogState::Stuck);
+        // Progress resumes.
+        w.heartbeat(t(41), 2);
+        assert_eq!(w.check(t(60)), WatchdogState::Healthy);
+        assert!(!w.has_fired());
+    }
+
+    #[test]
+    fn watchdog_bounds_the_wastage() {
+        // A 512-GPU job hangs at 02:00; the on-call notices at 09:00.
+        let (manual, auto) = hang_wastage(
+            512,
+            SimTime::from_secs(2 * 3600),
+            SimTime::from_secs(9 * 3600),
+            SimDuration::from_mins(30),
+        );
+        assert!((manual - 512.0 * 7.0).abs() < 1e-9);
+        assert!((auto - 256.0).abs() < 1e-9);
+        assert!(auto < manual / 10.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the failure stack.
+
+use std::collections::BTreeSet;
+
+use acme_failure::compress::{normalize, LogAgent, LogCompressor};
+use acme_failure::{DiagnosisPipeline, FailureReason, LogBundle, NcclTester};
+use acme_sim_core::SimRng;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Normalization is idempotent and length-non-increasing.
+    #[test]
+    fn normalize_idempotent(line in ".{0,200}") {
+        let once = normalize(&line);
+        prop_assert_eq!(normalize(&once), once.clone());
+        prop_assert!(once.chars().count() <= line.chars().count());
+    }
+
+    /// Compression never invents lines and never drops protected ones.
+    #[test]
+    fn compression_is_a_filter(seed in any::<u64>(), reason_idx in 0usize..29, noise in 10usize..200) {
+        let reason = FailureReason::ALL[reason_idx];
+        let mut rng = SimRng::new(seed);
+        let bundle = LogBundle::generate(reason, noise, &mut rng);
+        let mut c = LogCompressor::new();
+        LogAgent::default().learn_into(&mut c, &bundle.lines);
+        let kept = c.compress(&bundle.lines);
+        prop_assert!(kept.len() <= bundle.lines.len());
+        // Every kept line exists in the original, in order.
+        let mut idx = 0;
+        for line in &kept {
+            while idx < bundle.lines.len() && &bundle.lines[idx] != *line {
+                idx += 1;
+            }
+            prop_assert!(idx < bundle.lines.len(), "kept line not in source");
+        }
+        // Error lines always survive.
+        for line in &bundle.lines {
+            if line.contains("ERROR") {
+                prop_assert!(kept.contains(&line));
+            }
+        }
+    }
+
+    /// The full-rule pipeline classifies every generated log exactly.
+    #[test]
+    fn diagnosis_exact_with_full_rules(seed in any::<u64>(), reason_idx in 0usize..29) {
+        let reason = FailureReason::ALL[reason_idx];
+        let mut rng = SimRng::new(seed);
+        let bundle = LogBundle::generate(reason, 60, &mut rng);
+        let mut p = DiagnosisPipeline::with_all_rules();
+        let report = p.diagnose(&bundle.lines);
+        prop_assert!(report.is_some());
+        prop_assert_eq!(report.unwrap().reason, reason);
+    }
+
+    /// The two-round NCCL test identifies exactly the faulty set whenever
+    /// at least one world passes round one.
+    #[test]
+    fn nccl_two_round_exact(nodes in 4usize..64, faulty_bits in prop::collection::vec(any::<bool>(), 4..64)) {
+        let faulty: BTreeSet<usize> = faulty_bits
+            .iter()
+            .take(nodes)
+            .enumerate()
+            .filter(|&(_, &f)| f)
+            .map(|(i, _)| i)
+            .collect();
+        let result = NcclTester::new(nodes).run(&faulty);
+        if result.degraded {
+            // Over-approximation is allowed but must never miss.
+            prop_assert!(result.identified.is_superset(&faulty));
+        } else {
+            prop_assert_eq!(result.identified, faulty.clone());
+        }
+        // Suspects always include the faulty nodes.
+        if !faulty.is_empty() {
+            prop_assert!(result.suspects.is_superset(&faulty));
+        }
+    }
+
+    /// Injection scales with the horizon and never produces out-of-range
+    /// values.
+    #[test]
+    fn injection_ranges(seed in any::<u64>(), days in 1.0f64..400.0) {
+        use acme_failure::FailureInjector;
+        use acme_sim_core::SimDuration;
+        let mut rng = SimRng::new(seed);
+        let events = FailureInjector::over(SimDuration::from_secs_f64(days * 86_400.0))
+            .generate(&mut rng);
+        for e in &events {
+            prop_assert!(e.gpu_demand >= 1 && e.gpu_demand <= 2048);
+            prop_assert!(e.time_to_failure > SimDuration::ZERO);
+            prop_assert!(e.at.as_secs_f64() <= days * 86_400.0);
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! The discrete-event scheduler.
+//!
+//! Events are job arrivals and completions. On every event the scheduler
+//! sweeps its priority queues in order and starts every queued job that
+//! fits — FIFO within a priority with backfill (a job that doesn't fit does
+//! not block smaller jobs behind it, mirroring Slurm's backfill scheduler).
+//!
+//! Allocation policy (per [`SchedulerConfig`]):
+//! * pretraining draws from the reserved quota first and may overflow into
+//!   the shared pool;
+//! * other types draw from the shared pool;
+//! * if borrowing is enabled, a non-pretraining job that can never fit in
+//!   the shared pool alone may run best-effort on idle reserved GPUs.
+
+use std::collections::VecDeque;
+
+use acme_sim_core::{EventQueue, SimDuration, SimTime};
+use acme_workload::{JobRecord, JobType};
+
+use crate::config::SchedulerConfig;
+
+/// What the scheduler produced for a trace.
+#[derive(Debug)]
+pub struct ScheduleOutcome {
+    /// The input jobs with `queue_delay` filled in, original order.
+    pub jobs: Vec<JobRecord>,
+    /// `(time, gpus_in_use)` at every allocation change.
+    pub usage: Vec<(SimTime, u32)>,
+    /// Makespan: when the last job finished.
+    pub finished_at: SimTime,
+}
+
+impl ScheduleOutcome {
+    /// Mean GPU occupancy fraction over the schedule, weighted by time.
+    pub fn mean_occupancy(&self, total_gpus: u32) -> f64 {
+        if self.usage.len() < 2 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for w in self.usage.windows(2) {
+            let dt = (w[1].0 - w[0].0).as_secs_f64();
+            acc += w[0].1 as f64 * dt;
+        }
+        let span = (self.finished_at - self.usage[0].0).as_secs_f64();
+        if span == 0.0 {
+            0.0
+        } else {
+            acc / (span * total_gpus as f64)
+        }
+    }
+}
+
+/// Per-running-job allocation bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct Allocation {
+    reserved: u32,
+    shared: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Arrive(usize),
+    Finish(usize),
+}
+
+/// The scheduler simulator.
+#[derive(Debug)]
+pub struct ClusterScheduler {
+    config: SchedulerConfig,
+}
+
+impl ClusterScheduler {
+    /// Build a scheduler with the given policy.
+    pub fn new(config: SchedulerConfig) -> Self {
+        ClusterScheduler { config }
+    }
+
+    /// The policy in force.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// Run the trace to completion and fill in queue delays.
+    ///
+    /// # Panics
+    /// Panics if any job demands more GPUs than the cluster has — such a job
+    /// could never start and the trace is malformed for this cluster.
+    pub fn run(&self, mut jobs: Vec<JobRecord>) -> ScheduleOutcome {
+        for j in &jobs {
+            assert!(
+                j.gpus <= self.config.total_gpus,
+                "job {} demands {} GPUs but the cluster has {}",
+                j.id,
+                j.gpus,
+                self.config.total_gpus
+            );
+        }
+
+        // Arrival order must be chronological for FIFO semantics.
+        let mut order: Vec<usize> = (0..jobs.len()).collect();
+        order.sort_by_key(|&i| jobs[i].submit);
+
+        let mut queue = EventQueue::new();
+        for &i in &order {
+            queue.schedule(jobs[i].submit, Event::Arrive(i));
+        }
+
+        let mut queues: Vec<VecDeque<usize>> = (0..SchedulerConfig::PRIORITY_LEVELS)
+            .map(|_| VecDeque::new())
+            .collect();
+        let mut allocs: Vec<Option<Allocation>> = vec![None; jobs.len()];
+        let mut used_reserved: u32 = 0;
+        let mut used_shared: u32 = 0;
+        let mut usage: Vec<(SimTime, u32)> = Vec::new();
+        let mut finished_at = SimTime::ZERO;
+
+        while let Some((now, event)) = queue.pop() {
+            match event {
+                Event::Arrive(i) => {
+                    let p = SchedulerConfig::priority(jobs[i].job_type) as usize;
+                    queues[p].push_back(i);
+                }
+                Event::Finish(i) => {
+                    let a = allocs[i]
+                        .take()
+                        .expect("finishing a job that never started");
+                    used_reserved -= a.reserved;
+                    used_shared -= a.shared;
+                    finished_at = finished_at.max(now);
+                    usage.push((now, used_reserved + used_shared));
+                }
+            }
+
+            // Sweep priorities high→low, starting everything that fits.
+            for level in queues.iter_mut() {
+                let mut remaining = VecDeque::new();
+                while let Some(i) = level.pop_front() {
+                    match self.try_allocate(
+                        jobs[i].job_type,
+                        jobs[i].gpus,
+                        used_reserved,
+                        used_shared,
+                    ) {
+                        Some(a) => {
+                            used_reserved += a.reserved;
+                            used_shared += a.shared;
+                            allocs[i] = Some(a);
+                            jobs[i].queue_delay = now.saturating_since(jobs[i].submit);
+                            queue.schedule(now + jobs[i].duration, Event::Finish(i));
+                            usage.push((now, used_reserved + used_shared));
+                        }
+                        // Backfill: keep scanning smaller jobs behind it.
+                        None => remaining.push_back(i),
+                    }
+                }
+                *level = remaining;
+            }
+        }
+
+        for (p, q) in queues.iter().enumerate() {
+            assert!(q.is_empty(), "priority-{p} queue never drained");
+        }
+
+        ScheduleOutcome {
+            jobs,
+            usage,
+            finished_at,
+        }
+    }
+
+    /// Where would a job of this type/size run right now, if anywhere?
+    fn try_allocate(
+        &self,
+        ty: JobType,
+        gpus: u32,
+        used_reserved: u32,
+        used_shared: u32,
+    ) -> Option<Allocation> {
+        let c = &self.config;
+        if !c.reservation_enabled {
+            // Single pool, accounted entirely as "shared".
+            return if used_shared + gpus <= c.total_gpus {
+                Some(Allocation {
+                    reserved: 0,
+                    shared: gpus,
+                })
+            } else {
+                None
+            };
+        }
+
+        let free_reserved = c.reserved_gpus - used_reserved;
+        let free_shared = c.shared_gpus() - used_shared;
+
+        if ty == JobType::Pretrain {
+            // Reserved first, overflow into shared.
+            let from_reserved = gpus.min(free_reserved);
+            let from_shared = gpus - from_reserved;
+            if from_shared <= free_shared {
+                return Some(Allocation {
+                    reserved: from_reserved,
+                    shared: from_shared,
+                });
+            }
+            return None;
+        }
+
+        // Non-pretraining: shared pool.
+        if gpus <= free_shared {
+            return Some(Allocation {
+                reserved: 0,
+                shared: gpus,
+            });
+        }
+        // Best-effort: a job that can NEVER fit in the shared pool may
+        // borrow idle reserved GPUs wholesale.
+        if c.best_effort_borrowing && gpus > c.shared_gpus() && gpus <= free_reserved {
+            return Some(Allocation {
+                reserved: gpus,
+                shared: 0,
+            });
+        }
+        None
+    }
+}
+
+/// Snap evaluation submissions down to the start of `window`-sized buckets,
+/// modelling the paper's "evaluation jobs are typically submitted as a batch
+/// simultaneously" (§3.2). Other job types are untouched.
+pub fn coalesce_eval_batches(jobs: &mut [JobRecord], window: SimDuration) {
+    assert!(!window.is_zero(), "batch window must be positive");
+    let w = window.as_micros();
+    for j in jobs.iter_mut() {
+        if j.job_type == JobType::Evaluation {
+            let t = j.submit.as_micros();
+            j.submit = SimTime::from_micros(t - t % w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acme_workload::job::Cluster;
+    use acme_workload::JobStatus;
+
+    fn job(id: u64, ty: JobType, gpus: u32, submit_s: u64, dur_s: u64) -> JobRecord {
+        JobRecord {
+            id,
+            cluster: Cluster::Kalos,
+            job_type: ty,
+            submit: SimTime::from_secs(submit_s),
+            queue_delay: SimDuration::ZERO,
+            duration: SimDuration::from_secs(dur_s),
+            gpus,
+            status: JobStatus::Completed,
+        }
+    }
+
+    fn delays(outcome: &ScheduleOutcome) -> Vec<(u64, f64)> {
+        outcome
+            .jobs
+            .iter()
+            .map(|j| (j.id, j.queue_delay.as_secs_f64()))
+            .collect()
+    }
+
+    #[test]
+    fn uncontended_jobs_start_immediately() {
+        let s = ClusterScheduler::new(SchedulerConfig::without_reservation(100));
+        let out = s.run(vec![
+            job(0, JobType::Evaluation, 4, 0, 60),
+            job(1, JobType::Debug, 8, 10, 60),
+        ]);
+        assert!(out.jobs.iter().all(|j| j.queue_delay.is_zero()));
+        assert_eq!(out.finished_at, SimTime::from_secs(70));
+    }
+
+    #[test]
+    fn fifo_queueing_under_contention() {
+        // 10-GPU pool; two 8-GPU jobs must serialize.
+        let s = ClusterScheduler::new(SchedulerConfig::without_reservation(10));
+        let out = s.run(vec![
+            job(0, JobType::Debug, 8, 0, 100),
+            job(1, JobType::Debug, 8, 0, 100),
+        ]);
+        let d = delays(&out);
+        assert_eq!(d[0].1, 0.0);
+        assert_eq!(d[1].1, 100.0);
+    }
+
+    #[test]
+    fn backfill_lets_small_jobs_slip_past() {
+        // 10 GPUs: a running 8-GPU job, a queued 8-GPU job, then a 2-GPU job
+        // that fits right now and should NOT wait behind the 8-GPU job.
+        let s = ClusterScheduler::new(SchedulerConfig::without_reservation(10));
+        let out = s.run(vec![
+            job(0, JobType::Debug, 8, 0, 100),
+            job(1, JobType::Debug, 8, 1, 100),
+            job(2, JobType::Debug, 2, 2, 10),
+        ]);
+        let d = delays(&out);
+        assert_eq!(d[1].1, 99.0, "8-GPU job waits for the first to finish");
+        assert_eq!(d[2].1, 0.0, "2-GPU job backfills immediately");
+    }
+
+    #[test]
+    fn pretraining_priority_beats_earlier_eval() {
+        // 10 GPUs, all busy until t=100. At t=5 an eval (8 GPUs) queues; at
+        // t=6 a pretrain (8 GPUs) queues. Pretrain must start first despite
+        // arriving later.
+        let s = ClusterScheduler::new(SchedulerConfig::without_reservation(10));
+        let out = s.run(vec![
+            job(0, JobType::Debug, 10, 0, 100),
+            job(1, JobType::Evaluation, 8, 5, 50),
+            job(2, JobType::Pretrain, 8, 6, 50),
+        ]);
+        let d = delays(&out);
+        let pretrain_start = 100.0 - 6.0;
+        let eval_start = 150.0 - 5.0;
+        assert_eq!(d[2].1, pretrain_start);
+        assert_eq!(d[1].1, eval_start);
+    }
+
+    #[test]
+    fn reservation_shields_pretraining_from_eval_load() {
+        // 100 GPUs, 90 reserved. A burst of evals saturates the 10 shared
+        // GPUs; a pretrain arriving later starts instantly on the quota.
+        let mut jobs: Vec<JobRecord> = (0..10)
+            .map(|i| job(i, JobType::Evaluation, 2, 0, 1000))
+            .collect();
+        jobs.push(job(100, JobType::Pretrain, 80, 50, 500));
+        let s = ClusterScheduler::new(SchedulerConfig::with_reservation(100, 0.9));
+        let out = s.run(jobs);
+        let pre = out.jobs.iter().find(|j| j.id == 100).unwrap();
+        assert!(pre.queue_delay.is_zero(), "pretrain should never queue");
+        // Only 5 of the 10 evals fit in the shared pool at once.
+        let queued_evals = out
+            .jobs
+            .iter()
+            .filter(|j| j.job_type == JobType::Evaluation && !j.queue_delay.is_zero())
+            .count();
+        assert_eq!(queued_evals, 5);
+    }
+
+    #[test]
+    fn best_effort_borrowing_rescues_oversized_debug_jobs() {
+        // Shared pool is 10; a 50-GPU debug job can never fit there, but the
+        // reserved quota is idle, so borrowing lets it run.
+        let s = ClusterScheduler::new(SchedulerConfig::with_reservation(100, 0.9));
+        let out = s.run(vec![job(0, JobType::Debug, 50, 0, 10)]);
+        assert!(out.jobs[0].queue_delay.is_zero());
+
+        // With borrowing disabled the same trace would deadlock; the
+        // scheduler would panic on the undrained queue.
+        let mut cfg = SchedulerConfig::with_reservation(100, 0.9);
+        cfg.best_effort_borrowing = false;
+        let result = std::panic::catch_unwind(|| {
+            ClusterScheduler::new(cfg).run(vec![job(0, JobType::Debug, 50, 0, 10)])
+        });
+        assert!(
+            result.is_err(),
+            "queue should never drain without borrowing"
+        );
+    }
+
+    #[test]
+    fn borrowing_yields_to_running_pretrain() {
+        // Pretrain occupies the whole quota; the oversized debug job must
+        // wait until it finishes.
+        let s = ClusterScheduler::new(SchedulerConfig::with_reservation(100, 0.9));
+        let out = s.run(vec![
+            job(0, JobType::Pretrain, 90, 0, 100),
+            job(1, JobType::Debug, 50, 10, 10),
+        ]);
+        let d = delays(&out);
+        assert_eq!(d[1].1, 90.0);
+    }
+
+    #[test]
+    fn pretrain_overflows_into_shared_pool() {
+        // Quota 90, shared 10: a 95-GPU pretrain takes 90 reserved + 5 shared.
+        let s = ClusterScheduler::new(SchedulerConfig::with_reservation(100, 0.9));
+        let out = s.run(vec![
+            job(0, JobType::Pretrain, 95, 0, 100),
+            job(1, JobType::Evaluation, 8, 1, 10),
+            job(2, JobType::Evaluation, 4, 1, 10),
+        ]);
+        let d = delays(&out);
+        // Only 5 shared GPUs remain: the 4-GPU eval runs, the 8-GPU waits.
+        assert_eq!(d[2].1, 0.0);
+        assert_eq!(d[1].1, 99.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "demands")]
+    fn oversized_job_rejected() {
+        let s = ClusterScheduler::new(SchedulerConfig::without_reservation(8));
+        s.run(vec![job(0, JobType::Pretrain, 16, 0, 10)]);
+    }
+
+    #[test]
+    fn occupancy_accounting() {
+        let s = ClusterScheduler::new(SchedulerConfig::without_reservation(10));
+        // One job using all GPUs for the whole horizon → occupancy 1.0.
+        let out = s.run(vec![job(0, JobType::Debug, 10, 0, 100)]);
+        let occ = out.mean_occupancy(10);
+        assert!((occ - 1.0).abs() < 1e-9, "occ = {occ}");
+    }
+
+    #[test]
+    fn coalesce_eval_batches_floors_submit_times() {
+        let mut jobs = vec![
+            job(0, JobType::Evaluation, 1, 3700, 10),
+            job(1, JobType::Evaluation, 1, 7300, 10),
+            job(2, JobType::Pretrain, 8, 3700, 10),
+        ];
+        coalesce_eval_batches(&mut jobs, SimDuration::from_secs(3600));
+        assert_eq!(jobs[0].submit, SimTime::from_secs(3600));
+        assert_eq!(jobs[1].submit, SimTime::from_secs(7200));
+        assert_eq!(
+            jobs[2].submit,
+            SimTime::from_secs(3700),
+            "non-eval untouched"
+        );
+    }
+
+    #[test]
+    fn queue_delay_measured_from_submission() {
+        let s = ClusterScheduler::new(SchedulerConfig::without_reservation(4));
+        let out = s.run(vec![
+            job(0, JobType::Debug, 4, 0, 100),
+            job(1, JobType::Evaluation, 4, 30, 10),
+        ]);
+        assert_eq!(delays(&out)[1].1, 70.0);
+    }
+}

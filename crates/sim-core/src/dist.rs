@@ -1,0 +1,437 @@
+//! Probability distributions used to calibrate workloads and failures.
+//!
+//! All samplers draw from a [`SimRng`] so that an experiment's entire random
+//! behaviour is a pure function of its seed. The set is exactly what the
+//! reproduction needs:
+//!
+//! * [`Exponential`] — inter-arrival times;
+//! * [`LogNormal`] — job durations, time-to-failure, restart times (heavy
+//!   right tail with a well-defined median, matching the paper's avg≫median
+//!   rows in Table 3);
+//! * [`Pareto`] — the extreme GPU-time skew of Figure 3;
+//! * [`Weibull`] — wear-related hardware failures;
+//! * [`Categorical`] — weighted choices (job types, failure reasons);
+//! * [`Uniform`] / [`Constant`] — the trivial cases.
+
+use crate::rng::SimRng;
+
+/// A distribution over `f64` that can be sampled from a [`SimRng`].
+pub trait Distribution {
+    /// Draw one sample.
+    fn sample(&self, rng: &mut SimRng) -> f64;
+
+    /// The distribution mean, where defined in closed form.
+    fn mean(&self) -> f64;
+}
+
+/// Point mass at a single value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constant(pub f64);
+
+impl Distribution for Constant {
+    fn sample(&self, _rng: &mut SimRng) -> f64 {
+        self.0
+    }
+    fn mean(&self) -> f64 {
+        self.0
+    }
+}
+
+/// Uniform over `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// # Panics
+    /// Panics if `lo > hi` or either bound is not finite.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "bad uniform bounds"
+        );
+        Uniform { lo, hi }
+    }
+}
+
+impl Distribution for Uniform {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        rng.range_f64(self.lo, self.hi)
+    }
+    fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+}
+
+/// Exponential with rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// From a rate. # Panics if the rate is not positive and finite.
+    pub fn with_rate(lambda: f64) -> Self {
+        assert!(lambda > 0.0 && lambda.is_finite(), "bad exponential rate");
+        Exponential { lambda }
+    }
+
+    /// From a mean. # Panics if the mean is not positive and finite.
+    pub fn with_mean(mean: f64) -> Self {
+        Self::with_rate(1.0 / mean)
+    }
+}
+
+impl Distribution for Exponential {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        -rng.f64_open0().ln() / self.lambda
+    }
+    fn mean(&self) -> f64 {
+        1.0 / self.lambda
+    }
+}
+
+/// Log-normal: `exp(mu + sigma·Z)` with `Z ~ N(0,1)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// From the underlying normal parameters.
+    ///
+    /// # Panics
+    /// Panics if `sigma < 0` or either parameter is not finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(
+            mu.is_finite() && sigma.is_finite() && sigma >= 0.0,
+            "bad lognormal params"
+        );
+        LogNormal { mu, sigma }
+    }
+
+    /// Fit a log-normal from its *median* and *mean* (the form the paper's
+    /// tables report). Requires `mean >= median > 0`; the median fixes `mu`
+    /// and the mean/median ratio fixes `sigma`.
+    pub fn from_median_mean(median: f64, mean: f64) -> Self {
+        assert!(
+            median > 0.0 && mean > 0.0,
+            "median and mean must be positive"
+        );
+        // Degenerate or inconsistent inputs collapse toward a point mass at
+        // the median: Table 3 has rows where sparse data makes mean < median.
+        let ratio = (mean / median).max(1.0);
+        let sigma = (2.0 * ratio.ln()).sqrt();
+        LogNormal {
+            mu: median.ln(),
+            sigma,
+        }
+    }
+
+    /// The distribution median, `exp(mu)`.
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+
+    fn standard_normal(rng: &mut SimRng) -> f64 {
+        // Box–Muller; one draw per call keeps the stream layout simple.
+        let u1 = rng.f64_open0();
+        let u2 = rng.f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+impl Distribution for LogNormal {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        (self.mu + self.sigma * Self::standard_normal(rng)).exp()
+    }
+    fn mean(&self) -> f64 {
+        (self.mu + 0.5 * self.sigma * self.sigma).exp()
+    }
+}
+
+/// Pareto (type I) with scale `x_min` and shape `alpha`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    x_min: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// # Panics
+    /// Panics unless `x_min > 0` and `alpha > 0`.
+    pub fn new(x_min: f64, alpha: f64) -> Self {
+        assert!(x_min > 0.0 && alpha > 0.0, "bad pareto params");
+        Pareto { x_min, alpha }
+    }
+}
+
+impl Distribution for Pareto {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.x_min / rng.f64_open0().powf(1.0 / self.alpha)
+    }
+    fn mean(&self) -> f64 {
+        if self.alpha > 1.0 {
+            self.alpha * self.x_min / (self.alpha - 1.0)
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Weibull with scale `lambda` and shape `k`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    lambda: f64,
+    k: f64,
+}
+
+impl Weibull {
+    /// # Panics
+    /// Panics unless both parameters are positive.
+    pub fn new(lambda: f64, k: f64) -> Self {
+        assert!(lambda > 0.0 && k > 0.0, "bad weibull params");
+        Weibull { lambda, k }
+    }
+}
+
+impl Distribution for Weibull {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.lambda * (-rng.f64_open0().ln()).powf(1.0 / self.k)
+    }
+    fn mean(&self) -> f64 {
+        self.lambda * gamma(1.0 + 1.0 / self.k)
+    }
+}
+
+/// Weighted choice over `0..n` with O(log n) sampling via a cumulative table.
+#[derive(Debug, Clone)]
+pub struct Categorical {
+    cumulative: Vec<f64>,
+}
+
+impl Categorical {
+    /// Build from non-negative weights (not necessarily normalized).
+    ///
+    /// # Panics
+    /// Panics if the weights are empty, contain a negative/non-finite value,
+    /// or sum to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "empty categorical");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut total = 0.0;
+        for &w in weights {
+            assert!(w.is_finite() && w >= 0.0, "bad categorical weight {w}");
+            total += w;
+            cumulative.push(total);
+        }
+        assert!(total > 0.0, "categorical weights sum to zero");
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        // Guard against FP drift: the last bucket must cover 1.0 exactly.
+        *cumulative.last_mut().unwrap() = 1.0;
+        Categorical { cumulative }
+    }
+
+    /// Draw a category index.
+    pub fn sample_index(&self, rng: &mut SimRng) -> usize {
+        let u = rng.f64();
+        self.cumulative.partition_point(|&c| c <= u)
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True when there is exactly one category (never truly empty).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Lanczos approximation of the gamma function, used for Weibull means.
+#[allow(clippy::excessive_precision)] // published Lanczos coefficients
+fn gamma(x: f64) -> f64 {
+    // g = 7, n = 9 coefficients (Numerical Recipes / Boost parameterization).
+    const G: f64 = 7.0;
+    const C: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula for the left half-plane.
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = C[0];
+        let t = x + G + 0.5;
+        for (i, &c) in C.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+/// A boxed distribution plus multiplier, handy for calibration tables.
+#[derive(Clone, Debug)]
+pub enum Dist {
+    /// Point mass.
+    Constant(f64),
+    /// Uniform over `[lo, hi)`.
+    Uniform(f64, f64),
+    /// Exponential with the given mean.
+    ExpMean(f64),
+    /// Log-normal given (median, mean).
+    LogNormalMedianMean(f64, f64),
+    /// Pareto(x_min, alpha).
+    Pareto(f64, f64),
+    /// Weibull(scale, shape).
+    Weibull(f64, f64),
+}
+
+impl Dist {
+    /// Sample the described distribution.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        match *self {
+            Dist::Constant(v) => v,
+            Dist::Uniform(lo, hi) => Uniform::new(lo, hi).sample(rng),
+            Dist::ExpMean(m) => Exponential::with_mean(m).sample(rng),
+            Dist::LogNormalMedianMean(med, mean) => {
+                LogNormal::from_median_mean(med, mean).sample(rng)
+            }
+            Dist::Pareto(xm, a) => Pareto::new(xm, a).sample(rng),
+            Dist::Weibull(l, k) => Weibull::new(l, k).sample(rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_mean<D: Distribution>(d: &D, n: usize, seed: u64) -> f64 {
+        let mut rng = SimRng::new(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let d = Exponential::with_mean(5.0);
+        let m = sample_mean(&d, 200_000, 1);
+        assert!((m - 5.0).abs() < 0.1, "mean = {m}");
+        assert_eq!(d.mean(), 5.0);
+    }
+
+    #[test]
+    fn exponential_is_nonnegative() {
+        let d = Exponential::with_rate(2.0);
+        let mut rng = SimRng::new(2);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn lognormal_median_mean_fit() {
+        // Table-3-like row: median 155.3, mean 868.1.
+        let d = LogNormal::from_median_mean(155.3, 868.1);
+        assert!((d.median() - 155.3).abs() < 1e-9);
+        let m = sample_mean(&d, 400_000, 3);
+        assert!((m - 868.1).abs() / 868.1 < 0.08, "mean = {m}");
+        // Empirical median close to the target.
+        let mut rng = SimRng::new(4);
+        let mut xs: Vec<f64> = (0..100_001).map(|_| d.sample(&mut rng)).collect();
+        xs.sort_by(|a, b| a.total_cmp(b));
+        let med = xs[50_000];
+        assert!((med - 155.3).abs() / 155.3 < 0.05, "median = {med}");
+    }
+
+    #[test]
+    fn lognormal_degenerate_mean_below_median_collapses() {
+        let d = LogNormal::from_median_mean(10.0, 5.0);
+        let mut rng = SimRng::new(5);
+        for _ in 0..100 {
+            assert!((d.sample(&mut rng) - 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pareto_respects_scale_and_tail() {
+        let d = Pareto::new(2.0, 3.0);
+        let mut rng = SimRng::new(6);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= 2.0);
+        }
+        assert!((d.mean() - 3.0).abs() < 1e-12);
+        assert!(Pareto::new(1.0, 0.5).mean().is_infinite());
+    }
+
+    #[test]
+    fn weibull_shape_one_is_exponential() {
+        let d = Weibull::new(4.0, 1.0);
+        let m = sample_mean(&d, 200_000, 7);
+        assert!((m - 4.0).abs() < 0.1, "mean = {m}");
+        assert!((d.mean() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gamma_known_values() {
+        assert!((gamma(1.0) - 1.0).abs() < 1e-10);
+        assert!((gamma(5.0) - 24.0).abs() < 1e-7);
+        assert!((gamma(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn categorical_frequencies_match_weights() {
+        let c = Categorical::new(&[1.0, 2.0, 7.0]);
+        let mut rng = SimRng::new(8);
+        let mut counts = [0u32; 3];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[c.sample_index(&mut rng)] += 1;
+        }
+        let probs: Vec<f64> = counts.iter().map(|&c| c as f64 / n as f64).collect();
+        assert!((probs[0] - 0.1).abs() < 0.01);
+        assert!((probs[1] - 0.2).abs() < 0.01);
+        assert!((probs[2] - 0.7).abs() < 0.01);
+    }
+
+    #[test]
+    fn categorical_zero_weight_bucket_never_sampled() {
+        let c = Categorical::new(&[1.0, 0.0, 1.0]);
+        let mut rng = SimRng::new(9);
+        for _ in 0..10_000 {
+            assert_ne!(c.sample_index(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "weights sum to zero")]
+    fn categorical_rejects_all_zero() {
+        Categorical::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn dist_enum_dispatch() {
+        let mut rng = SimRng::new(10);
+        assert_eq!(Dist::Constant(3.5).sample(&mut rng), 3.5);
+        let u = Dist::Uniform(1.0, 2.0).sample(&mut rng);
+        assert!((1.0..2.0).contains(&u));
+        assert!(Dist::ExpMean(1.0).sample(&mut rng) >= 0.0);
+        assert!(Dist::LogNormalMedianMean(2.0, 3.0).sample(&mut rng) > 0.0);
+        assert!(Dist::Pareto(1.0, 2.0).sample(&mut rng) >= 1.0);
+        assert!(Dist::Weibull(1.0, 2.0).sample(&mut rng) >= 0.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! A minimal run-loop for event-driven components.
+//!
+//! Domains with complex shared state (the scheduler, the evaluation
+//! coordinator) build their own loops directly over [`EventQueue`]; the
+//! [`Engine`] here covers the common "single process reacting to its own
+//! events" shape and keeps those loops uniform.
+
+use crate::event::EventQueue;
+use crate::time::SimTime;
+
+/// A state machine driven by timed events of type `E`.
+pub trait Process {
+    /// Event type consumed by this process.
+    type Event;
+
+    /// Handle one event at time `now`, scheduling follow-ups on `queue`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+}
+
+/// Drives a [`Process`] until its queue drains or a horizon is reached.
+#[derive(Debug)]
+pub struct Engine<P: Process> {
+    queue: EventQueue<P::Event>,
+    process: P,
+    events_handled: u64,
+}
+
+impl<P: Process> Engine<P> {
+    /// Wrap a process with an empty queue.
+    pub fn new(process: P) -> Self {
+        Engine {
+            queue: EventQueue::new(),
+            process,
+            events_handled: 0,
+        }
+    }
+
+    /// Seed the queue before running.
+    pub fn schedule(&mut self, at: SimTime, event: P::Event) {
+        self.queue.schedule(at, event);
+    }
+
+    /// Current simulation clock.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Total number of events dispatched so far.
+    pub fn events_handled(&self) -> u64 {
+        self.events_handled
+    }
+
+    /// Access the wrapped process.
+    pub fn process(&self) -> &P {
+        &self.process
+    }
+
+    /// Mutable access to the wrapped process.
+    pub fn process_mut(&mut self) -> &mut P {
+        &mut self.process
+    }
+
+    /// Run until no events remain. Returns the final clock value.
+    pub fn run(&mut self) -> SimTime {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Run until the queue drains or the next event would fire after
+    /// `horizon`. Events at exactly `horizon` are processed.
+    pub fn run_until(&mut self, horizon: SimTime) -> SimTime {
+        while let Some((now, event)) = self.queue.pop_before(horizon) {
+            self.process.handle(now, event, &mut self.queue);
+            self.events_handled += 1;
+        }
+        self.queue.now()
+    }
+
+    /// Consume the engine and return the process (e.g. to read results).
+    pub fn into_process(self) -> P {
+        self.process
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    /// A process that counts down, rescheduling itself each second.
+    struct Countdown {
+        remaining: u32,
+        fired_at: Vec<SimTime>,
+    }
+
+    impl Process for Countdown {
+        type Event = ();
+
+        fn handle(&mut self, now: SimTime, _e: (), queue: &mut EventQueue<()>) {
+            self.fired_at.push(now);
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                queue.schedule(now + SimDuration::from_secs(1), ());
+            }
+        }
+    }
+
+    #[test]
+    fn runs_to_completion() {
+        let mut engine = Engine::new(Countdown {
+            remaining: 3,
+            fired_at: vec![],
+        });
+        engine.schedule(SimTime::ZERO, ());
+        let end = engine.run();
+        assert_eq!(end, SimTime::from_secs(3));
+        assert_eq!(engine.events_handled(), 4);
+        assert_eq!(
+            engine.process().fired_at,
+            vec![
+                SimTime::ZERO,
+                SimTime::from_secs(1),
+                SimTime::from_secs(2),
+                SimTime::from_secs(3)
+            ]
+        );
+    }
+
+    #[test]
+    fn horizon_stops_the_loop() {
+        let mut engine = Engine::new(Countdown {
+            remaining: 100,
+            fired_at: vec![],
+        });
+        engine.schedule(SimTime::ZERO, ());
+        engine.run_until(SimTime::from_secs(5));
+        // Events at 0..=5 inclusive have fired.
+        assert_eq!(engine.process().fired_at.len(), 6);
+        // Resume: the rest still run.
+        engine.run();
+        assert_eq!(engine.process().fired_at.len(), 101);
+    }
+
+    #[test]
+    fn into_process_returns_state() {
+        let mut engine = Engine::new(Countdown {
+            remaining: 1,
+            fired_at: vec![],
+        });
+        engine.schedule(SimTime::from_secs(2), ());
+        engine.run();
+        let p = engine.into_process();
+        assert_eq!(p.fired_at.len(), 2);
+    }
+}

@@ -1,0 +1,80 @@
+//! Cross-check our distribution samplers against the independent `rand`
+//! implementation: two unrelated generators and code paths must agree on
+//! the distributional statistics they claim.
+
+use acme_sim_core::dist::{Distribution, Exponential, LogNormal};
+use acme_sim_core::SimRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 200_000;
+
+fn our_mean<D: Distribution>(d: &D, seed: u64) -> f64 {
+    let mut rng = SimRng::new(seed);
+    (0..N).map(|_| d.sample(&mut rng)).sum::<f64>() / N as f64
+}
+
+#[test]
+fn exponential_agrees_with_rand_inverse_cdf() {
+    let mean = 7.5;
+    let ours = our_mean(&Exponential::with_mean(mean), 1);
+    // Independent sampler: inverse-CDF over rand's uniform stream.
+    let mut r = rand::rngs::StdRng::seed_from_u64(2);
+    let theirs: f64 = (0..N)
+        .map(|_| -mean * (1.0 - r.random::<f64>()).ln())
+        .sum::<f64>()
+        / N as f64;
+    assert!(
+        (ours - theirs).abs() / mean < 0.02,
+        "ours {ours:.3} vs rand {theirs:.3}"
+    );
+    assert!((ours - mean).abs() / mean < 0.02);
+}
+
+#[test]
+fn lognormal_agrees_with_rand_box_muller() {
+    let d = LogNormal::from_median_mean(10.0, 25.0);
+    let ours = our_mean(&d, 3);
+    // Independent Box–Muller over rand's uniforms with the same (mu, sigma).
+    let mu = 10.0f64.ln();
+    let sigma = (2.0 * (25.0f64 / 10.0).ln()).sqrt();
+    let mut r = rand::rngs::StdRng::seed_from_u64(4);
+    let theirs: f64 = (0..N)
+        .map(|_| {
+            let u1: f64 = 1.0 - r.random::<f64>();
+            let u2: f64 = r.random();
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            (mu + sigma * z).exp()
+        })
+        .sum::<f64>()
+        / N as f64;
+    assert!(
+        (ours - theirs).abs() / theirs < 0.05,
+        "ours {ours:.3} vs rand {theirs:.3}"
+    );
+}
+
+#[test]
+fn uniformity_of_simrng_matches_rand() {
+    // Chi-squared-style bucket comparison of the two uniform streams.
+    let mut ours = SimRng::new(5);
+    let mut theirs = rand::rngs::StdRng::seed_from_u64(6);
+    let mut a = [0u32; 16];
+    let mut b = [0u32; 16];
+    for _ in 0..160_000 {
+        a[(ours.f64() * 16.0) as usize % 16] += 1;
+        b[(theirs.random::<f64>() * 16.0) as usize % 16] += 1;
+    }
+    for i in 0..16 {
+        let expected = 10_000.0;
+        assert!(
+            (a[i] as f64 - expected).abs() < expected * 0.05,
+            "ours bucket {i}: {}",
+            a[i]
+        );
+        assert!(
+            (b[i] as f64 - expected).abs() < expected * 0.05,
+            "rand bucket {i}: {}",
+            b[i]
+        );
+    }
+}

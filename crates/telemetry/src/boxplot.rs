@@ -1,0 +1,118 @@
+//! Box-plot statistics exactly as Figure 5 defines them: the box spans the
+//! first and third quartiles, the median is marked inside, and both whiskers
+//! extend to the furthest sample within 1.5× the inter-quartile range.
+
+use crate::cdf::Cdf;
+
+/// Five-number summary plus outlier count, Figure-5 convention.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxplotStats {
+    /// First quartile (25th percentile).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile (75th percentile).
+    pub q3: f64,
+    /// Lowest sample ≥ `q1 − 1.5·IQR`.
+    pub whisker_lo: f64,
+    /// Highest sample ≤ `q3 + 1.5·IQR`.
+    pub whisker_hi: f64,
+    /// Samples outside the whiskers.
+    pub outliers: usize,
+}
+
+impl BoxplotStats {
+    /// Compute from raw samples. Returns `None` when empty.
+    pub fn from_samples(samples: Vec<f64>) -> Option<Self> {
+        let cdf = Cdf::from_samples(samples)?;
+        let q1 = cdf.quantile(0.25);
+        let median = cdf.median();
+        let q3 = cdf.quantile(0.75);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let xs = cdf.samples();
+        // Whiskers reach the furthest sample inside the fences, clamped to
+        // the box: with interpolated quantiles on tiny samples the nearest
+        // in-fence sample can otherwise land beyond q1/q3.
+        let whisker_lo = xs
+            .iter()
+            .copied()
+            .find(|&x| x >= lo_fence)
+            .unwrap_or(q1)
+            .min(q1);
+        let whisker_hi = xs
+            .iter()
+            .rev()
+            .copied()
+            .find(|&x| x <= hi_fence)
+            .unwrap_or(q3)
+            .max(q3);
+        let outliers = xs.iter().filter(|&&x| x < lo_fence || x > hi_fence).count();
+        Some(BoxplotStats {
+            q1,
+            median,
+            q3,
+            whisker_lo,
+            whisker_hi,
+            outliers,
+        })
+    }
+
+    /// Inter-quartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert!(BoxplotStats::from_samples(vec![]).is_none());
+    }
+
+    #[test]
+    fn symmetric_data() {
+        let b = BoxplotStats::from_samples((1..=9).map(f64::from).collect()).unwrap();
+        assert_eq!(b.median, 5.0);
+        assert_eq!(b.q1, 3.0);
+        assert_eq!(b.q3, 7.0);
+        assert_eq!(b.iqr(), 4.0);
+        assert_eq!(b.whisker_lo, 1.0);
+        assert_eq!(b.whisker_hi, 9.0);
+        assert_eq!(b.outliers, 0);
+    }
+
+    #[test]
+    fn outliers_detected_beyond_fences() {
+        // Tight cluster plus one far point.
+        let mut xs: Vec<f64> = (0..20).map(|i| 10.0 + i as f64 * 0.1).collect();
+        xs.push(1000.0);
+        let b = BoxplotStats::from_samples(xs).unwrap();
+        assert_eq!(b.outliers, 1);
+        assert!(b.whisker_hi < 1000.0);
+    }
+
+    #[test]
+    fn whiskers_clip_to_innermost_sample() {
+        // Quartiles of [0, 0, 0, 0, 100]: the 100 is an outlier; high whisker
+        // must fall back to a real sample, not the fence.
+        let b = BoxplotStats::from_samples(vec![0.0, 0.0, 0.0, 0.0, 100.0]).unwrap();
+        assert_eq!(b.whisker_hi, 0.0);
+        assert_eq!(b.outliers, 1);
+    }
+
+    #[test]
+    fn single_sample_degenerates() {
+        let b = BoxplotStats::from_samples(vec![4.0]).unwrap();
+        assert_eq!(b.q1, 4.0);
+        assert_eq!(b.median, 4.0);
+        assert_eq!(b.q3, 4.0);
+        assert_eq!(b.whisker_lo, 4.0);
+        assert_eq!(b.whisker_hi, 4.0);
+        assert_eq!(b.outliers, 0);
+    }
+}

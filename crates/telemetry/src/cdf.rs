@@ -1,0 +1,172 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Every distributional figure in the paper is a CDF; this type turns a bag
+//! of samples into quantiles, point-wise evaluations, and printable series.
+
+/// An empirical CDF over `f64` samples. NaNs are rejected at construction.
+#[derive(Debug, Clone)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build from samples (any order). Returns `None` when empty.
+    ///
+    /// # Panics
+    /// Panics if any sample is NaN — a NaN metric is always an upstream bug.
+    pub fn from_samples(mut samples: Vec<f64>) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        assert!(
+            samples.iter().all(|x| !x.is_nan()),
+            "NaN sample in CDF input"
+        );
+        samples.sort_by(|a, b| a.total_cmp(b));
+        Some(Cdf { sorted: samples })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Never true: construction rejects empty inputs.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().unwrap()
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Quantile by nearest-rank with linear interpolation, `p ∈ [0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "quantile p out of range: {p}");
+        let n = self.sorted.len();
+        if n == 1 {
+            return self.sorted[0];
+        }
+        let pos = p * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+    }
+
+    /// The median (`quantile(0.5)`).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Fraction of samples ≤ `x` (the CDF evaluated at `x`).
+    pub fn fraction_le(&self, x: f64) -> f64 {
+        let count = self.sorted.partition_point(|&s| s <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// `n` evenly spaced `(value, cumulative_fraction)` points for printing
+    /// or plotting, including both endpoints.
+    pub fn points(&self, n: usize) -> Vec<(f64, f64)> {
+        assert!(n >= 2, "need at least two points");
+        (0..n)
+            .map(|i| {
+                let p = i as f64 / (n - 1) as f64;
+                (self.quantile(p), p)
+            })
+            .collect()
+    }
+
+    /// Iterate over the sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cdf(xs: &[f64]) -> Cdf {
+        Cdf::from_samples(xs.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert!(Cdf::from_samples(vec![]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN sample")]
+    fn nan_rejected() {
+        Cdf::from_samples(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn basic_stats() {
+        let c = cdf(&[3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(c.min(), 1.0);
+        assert_eq!(c.max(), 4.0);
+        assert_eq!(c.mean(), 2.5);
+        assert_eq!(c.median(), 2.5);
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let c = cdf(&[0.0, 10.0]);
+        assert_eq!(c.quantile(0.0), 0.0);
+        assert_eq!(c.quantile(0.25), 2.5);
+        assert_eq!(c.quantile(1.0), 10.0);
+    }
+
+    #[test]
+    fn single_sample_quantiles() {
+        let c = cdf(&[7.0]);
+        assert_eq!(c.quantile(0.0), 7.0);
+        assert_eq!(c.quantile(0.5), 7.0);
+        assert_eq!(c.quantile(1.0), 7.0);
+    }
+
+    #[test]
+    fn fraction_le_counts_ties() {
+        let c = cdf(&[1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(c.fraction_le(0.5), 0.0);
+        assert_eq!(c.fraction_le(2.0), 0.75);
+        assert_eq!(c.fraction_le(3.0), 1.0);
+        assert_eq!(c.fraction_le(100.0), 1.0);
+    }
+
+    #[test]
+    fn points_cover_range_monotonically() {
+        let c = cdf(&[5.0, 1.0, 3.0, 9.0, 7.0]);
+        let pts = c.points(11);
+        assert_eq!(pts.len(), 11);
+        assert_eq!(pts[0], (1.0, 0.0));
+        assert_eq!(pts[10], (9.0, 1.0));
+        for w in pts.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 > w[0].1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn quantile_rejects_bad_p() {
+        cdf(&[1.0]).quantile(1.5);
+    }
+}

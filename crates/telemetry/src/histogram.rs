@@ -1,0 +1,162 @@
+//! Fixed-bin histograms, used for power/temperature distributions and for
+//! frequency checks in tests.
+
+/// A histogram with `bins` equal-width buckets over `[lo, hi)`, plus
+/// explicit underflow/overflow counters.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Create with `bins` buckets over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "bad histogram range [{lo}, {hi})");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Record a sample.
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = ((x - self.lo) / width) as usize;
+            // FP rounding can land exactly on counts.len() for x just below hi.
+            let idx = idx.min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Total samples recorded, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the top of the range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Per-bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// `(bin_center, fraction_of_total)` pairs; empty when nothing recorded.
+    pub fn normalized(&self) -> Vec<(f64, f64)> {
+        if self.total == 0 {
+            return vec![];
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                (
+                    self.lo + width * (i as f64 + 0.5),
+                    c as f64 / self.total as f64,
+                )
+            })
+            .collect()
+    }
+
+    /// Fraction of in-range samples at or below `x` (ignores overflow bins).
+    pub fn fraction_le(&self, x: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let mut acc = self.underflow;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let upper = self.lo + width * (i as f64 + 1.0);
+            if upper <= x {
+                acc += c;
+            } else {
+                break;
+            }
+        }
+        acc as f64 / self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(0.5);
+        h.record(5.5);
+        h.record(9.99);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[5], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn under_and_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(-5.0);
+        h.record(1.0); // hi is exclusive
+        h.record(2.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn normalized_sums_to_in_range_fraction() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for i in 0..10 {
+            h.record(i as f64);
+        }
+        h.record(100.0);
+        let total_frac: f64 = h.normalized().iter().map(|&(_, f)| f).sum();
+        assert!((total_frac - 10.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_le_is_monotone() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.record(i as f64 + 0.5);
+        }
+        assert!((h.fraction_le(50.0) - 0.5).abs() < 1e-12);
+        assert!(h.fraction_le(25.0) < h.fraction_le(75.0));
+        assert_eq!(h.fraction_le(100.0), 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_fraction_zero() {
+        let h = Histogram::new(0.0, 1.0, 2);
+        assert_eq!(h.fraction_le(0.5), 0.0);
+        assert!(h.normalized().is_empty());
+    }
+}

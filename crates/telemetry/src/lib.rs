@@ -1,0 +1,27 @@
+//! Monitoring and statistics: the simulated counterpart of the paper's
+//! DCGM / Prometheus / IPMI stack plus the statistics its figures are built
+//! from.
+//!
+//! * [`cdf::Cdf`] — empirical CDFs and quantiles (Figures 2, 3, 6, 7, 8, 21);
+//! * [`boxplot::BoxplotStats`] — quartiles with 1.5×IQR whiskers (Figure 5);
+//! * [`histogram::Histogram`] — fixed-bin frequency counts;
+//! * [`series::TimeSeries`] — timestamped gauges sampled at the paper's 15 s
+//!   monitoring cadence (Figures 10, 13, 14, 22);
+//! * [`counters::MetricStore`] — a DCGM-like registry of per-entity metrics;
+//! * [`table`] — plain-text rendering for the repro harness output.
+
+#![warn(missing_docs)]
+
+pub mod boxplot;
+pub mod cdf;
+pub mod counters;
+pub mod histogram;
+pub mod series;
+pub mod table;
+
+pub use boxplot::BoxplotStats;
+pub use cdf::Cdf;
+pub use counters::MetricStore;
+pub use histogram::Histogram;
+pub use series::TimeSeries;
+pub use table::Table;

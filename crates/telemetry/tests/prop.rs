@@ -1,0 +1,78 @@
+//! Property-based tests for the statistics toolkit.
+
+use acme_telemetry::{BoxplotStats, Cdf, Histogram};
+use proptest::prelude::*;
+
+fn finite_samples() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e9f64..1e9, 1..200)
+}
+
+proptest! {
+    /// Quantiles are monotone in p and bounded by min/max.
+    #[test]
+    fn quantiles_monotone_and_bounded(xs in finite_samples(), ps in prop::collection::vec(0.0f64..=1.0, 2..10)) {
+        let cdf = Cdf::from_samples(xs).unwrap();
+        let mut sorted_ps = ps;
+        sorted_ps.sort_by(|a, b| a.total_cmp(b));
+        let mut last = f64::NEG_INFINITY;
+        for &p in &sorted_ps {
+            let q = cdf.quantile(p);
+            prop_assert!(q >= last);
+            prop_assert!(q >= cdf.min() && q <= cdf.max());
+            last = q;
+        }
+    }
+
+    /// fraction_le is a valid CDF: monotone, 0 below min, 1 at max.
+    #[test]
+    fn fraction_le_is_a_cdf(xs in finite_samples()) {
+        let cdf = Cdf::from_samples(xs).unwrap();
+        prop_assert_eq!(cdf.fraction_le(cdf.min() - 1.0), 0.0);
+        prop_assert_eq!(cdf.fraction_le(cdf.max()), 1.0);
+        let lo = cdf.fraction_le(cdf.quantile(0.3));
+        let hi = cdf.fraction_le(cdf.quantile(0.8));
+        prop_assert!(hi >= lo);
+    }
+
+    /// Boxplot invariants: ordering of the five numbers, whiskers inside
+    /// the data range, outliers counted consistently.
+    #[test]
+    fn boxplot_invariants(xs in finite_samples()) {
+        let n = xs.len();
+        let b = BoxplotStats::from_samples(xs.clone()).unwrap();
+        prop_assert!(b.whisker_lo <= b.q1 + 1e-9);
+        prop_assert!(b.q1 <= b.median && b.median <= b.q3);
+        prop_assert!(b.whisker_hi >= b.q3 - 1e-9);
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(b.whisker_lo >= min && b.whisker_hi <= max);
+        prop_assert!(b.outliers < n);
+    }
+
+    /// Histogram counts account for every recorded sample.
+    #[test]
+    fn histogram_conserves_samples(xs in finite_samples(), lo in -100.0f64..0.0, width in 1.0f64..1000.0) {
+        let mut h = Histogram::new(lo, lo + width, 16);
+        for &x in &xs {
+            h.record(x);
+        }
+        let binned: u64 = h.counts().iter().sum();
+        prop_assert_eq!(binned + h.underflow() + h.overflow(), xs.len() as u64);
+        prop_assert_eq!(h.total(), xs.len() as u64);
+    }
+
+    /// The histogram CDF approximation is monotone.
+    #[test]
+    fn histogram_fraction_monotone(xs in prop::collection::vec(0.0f64..100.0, 1..100)) {
+        let mut h = Histogram::new(0.0, 100.0, 20);
+        for &x in &xs {
+            h.record(x);
+        }
+        let mut last = 0.0;
+        for i in 0..=20 {
+            let f = h.fraction_le(i as f64 * 5.0);
+            prop_assert!(f >= last - 1e-12);
+            last = f;
+        }
+    }
+}

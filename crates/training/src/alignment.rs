@@ -1,0 +1,162 @@
+//! The alignment stage (§2.1): SFT, LoRA, and RLHF cost models.
+//!
+//! Alignment adapts a pretrained model to user intent. The paper names the
+//! three paradigms this module prices:
+//!
+//! * **full fine-tuning (SFT)** — update all Ψ parameters on a small
+//!   labeled corpus: the full 16Ψ mixed-precision memory bill, but few
+//!   tokens;
+//! * **LoRA** — train rank-`r` adapters only: trainable parameters drop by
+//!   orders of magnitude, and with them the optimizer-state memory
+//!   ("parameter-efficient techniques ... reduce the cost of fine-tuning");
+//! * **RLHF** — four models in flight (actor, critic, reward, reference),
+//!   multiplying the memory footprint and adding generation to each step.
+
+use crate::model::{ModelConfig, BYTES_PER_PARAM_MIXED_PRECISION};
+
+/// How the model is being aligned.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AlignmentMethod {
+    /// Full-parameter supervised fine-tuning.
+    FullSft,
+    /// Low-rank adaptation with the given rank.
+    Lora {
+        /// Adapter rank (typically 8–64).
+        rank: u32,
+    },
+    /// RLHF with PPO: actor + critic + reward + frozen reference.
+    Rlhf,
+}
+
+/// Cost estimate for one alignment job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlignmentCost {
+    /// Parameters receiving gradients.
+    pub trainable_params: f64,
+    /// Model-state memory across the job, GB (params + grads + optimizer
+    /// for trainable parts; frozen parts pay weights only).
+    pub state_gb: f64,
+    /// GPU-hours for the given token budget on A100s.
+    pub gpu_hours: f64,
+}
+
+/// Price an alignment job: `tokens` of labeled data through `model` with
+/// `method`, assuming the A100 sustains ~150 TFLOP/s of training math.
+pub fn alignment_cost(model: &ModelConfig, method: AlignmentMethod, tokens: u64) -> AlignmentCost {
+    const SUSTAINED_FLOPS: f64 = 150e12;
+    let p = model.params();
+    let weight_gb = 2.0 * p / 1e9; // bf16 weights
+
+    let (trainable, state_gb, flops_per_token) = match method {
+        AlignmentMethod::FullSft => (
+            p,
+            p * BYTES_PER_PARAM_MIXED_PRECISION / 1e9,
+            model.train_flops_per_token(),
+        ),
+        AlignmentMethod::Lora { rank } => {
+            assert!(rank > 0, "LoRA rank must be positive");
+            // Two adapters (A: h×r, B: r×h) on each of the 4 attention
+            // projections per layer.
+            let h = model.hidden as f64;
+            let trainable = model.layers as f64 * 4.0 * 2.0 * h * rank as f64;
+            // Frozen weights (bf16) + full optimizer only for the adapters.
+            let state = weight_gb + trainable * BYTES_PER_PARAM_MIXED_PRECISION / 1e9;
+            // Forward+backward still flows through the full model; the
+            // backward weight pass is skipped for frozen params (≈ 4Ψ vs 6Ψ).
+            (trainable, state, 4.0 * p + 6.0 * trainable)
+        }
+        AlignmentMethod::Rlhf => {
+            // Actor trains (16Ψ); critic and reward train (16Ψ each,
+            // same-size assumption); reference is frozen (2Ψ).
+            let state = (16.0 * 3.0 + 2.0) * p / 1e9;
+            // Each PPO step: generation (~2Ψ per generated token) plus
+            // training on actor+critic (~12Ψ per token).
+            (3.0 * p, state, 14.0 * p)
+        }
+    };
+    AlignmentCost {
+        trainable_params: trainable,
+        state_gb,
+        gpu_hours: flops_per_token * tokens as f64 / SUSTAINED_FLOPS / 3600.0,
+    }
+}
+
+/// Minimum A100s (80 GB each, 75% usable) to hold the job's model states.
+pub fn min_gpus(cost: &AlignmentCost) -> u32 {
+    (cost.state_gb / (80.0 * 0.75)).ceil().max(1.0) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SFT_TOKENS: u64 = 50_000_000; // a small high-quality corpus
+
+    #[test]
+    fn lora_slashes_trainable_params() {
+        let m = ModelConfig::dense_7b();
+        let full = alignment_cost(&m, AlignmentMethod::FullSft, SFT_TOKENS);
+        let lora = alignment_cost(&m, AlignmentMethod::Lora { rank: 16 }, SFT_TOKENS);
+        // "LoRA ... reduce the cost of fine-tuning": >100× fewer trainable
+        // parameters.
+        assert!(full.trainable_params / lora.trainable_params > 100.0);
+        assert!(lora.state_gb < 0.3 * full.state_gb);
+        assert!(lora.gpu_hours < full.gpu_hours);
+    }
+
+    #[test]
+    fn lora_fits_where_full_sft_does_not() {
+        let m = ModelConfig::dense_123b();
+        let full = alignment_cost(&m, AlignmentMethod::FullSft, SFT_TOKENS);
+        let lora = alignment_cost(&m, AlignmentMethod::Lora { rank: 16 }, SFT_TOKENS);
+        // Full SFT of 123B needs dozens of GPUs just for states; LoRA fits
+        // on a handful.
+        assert!(
+            min_gpus(&full) > 4 * min_gpus(&lora),
+            "{} vs {}",
+            min_gpus(&full),
+            min_gpus(&lora)
+        );
+    }
+
+    #[test]
+    fn rlhf_is_the_most_expensive_paradigm() {
+        let m = ModelConfig::dense_7b();
+        let sft = alignment_cost(&m, AlignmentMethod::FullSft, SFT_TOKENS);
+        let rlhf = alignment_cost(&m, AlignmentMethod::Rlhf, SFT_TOKENS);
+        assert!(rlhf.state_gb > 2.5 * sft.state_gb);
+        assert!(rlhf.gpu_hours > sft.gpu_hours);
+    }
+
+    #[test]
+    fn sft_of_7b_is_hours_not_weeks() {
+        // §2.1: alignment uses "a smaller set of high-quality labeled
+        // corpora" — a tiny fraction of pretraining compute.
+        let m = ModelConfig::dense_7b();
+        let c = alignment_cost(&m, AlignmentMethod::FullSft, SFT_TOKENS);
+        // 50M tokens × ~41 GFLOP/token / 150 TF ≈ a few GPU-hours.
+        assert!(
+            (1.0..24.0).contains(&c.gpu_hours),
+            "gpu-hours {:.1}",
+            c.gpu_hours
+        );
+    }
+
+    #[test]
+    fn cost_scales_linearly_in_tokens() {
+        let m = ModelConfig::dense_7b();
+        let a = alignment_cost(&m, AlignmentMethod::FullSft, 10_000_000);
+        let b = alignment_cost(&m, AlignmentMethod::FullSft, 20_000_000);
+        assert!((b.gpu_hours / a.gpu_hours - 2.0).abs() < 1e-9);
+        assert_eq!(a.state_gb, b.state_gb);
+    }
+
+    #[test]
+    fn higher_rank_costs_more() {
+        let m = ModelConfig::dense_7b();
+        let r8 = alignment_cost(&m, AlignmentMethod::Lora { rank: 8 }, SFT_TOKENS);
+        let r64 = alignment_cost(&m, AlignmentMethod::Lora { rank: 64 }, SFT_TOKENS);
+        assert!(r64.trainable_params > 7.0 * r8.trainable_params);
+        assert!(r64.state_gb > r8.state_gb);
+    }
+}

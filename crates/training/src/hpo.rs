@@ -1,0 +1,261 @@
+//! Hydro-style hyperparameter optimization (§7, "improving the quality of
+//! LLMs through hyperparameter optimization using Hydro").
+//!
+//! Hydro's idea: tune on a cheap *surrogate* (a scaled-down model), then
+//! transfer the found optimum to the target scale. This module models the
+//! response surface — final loss as a quadratic bowl in log-learning-rate
+//! around a size-dependent optimum — and compares two tuners:
+//!
+//! * **direct random search** on the target model (every trial pays
+//!   target-scale GPU-hours);
+//! * **surrogate transfer**: random-search the small model, map the
+//!   optimum through the known size-scaling law, and spend only a couple
+//!   of confirmation trials at target scale.
+
+use acme_sim_core::SimRng;
+
+use crate::model::ModelConfig;
+
+/// One hyperparameter point (learning rate is the axis that matters most
+/// for stability and final loss at fixed batch).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HyperParams {
+    /// Peak learning rate.
+    pub lr: f64,
+}
+
+/// The response surface: the loss reached after `tokens` of training.
+#[derive(Debug, Clone, Copy)]
+pub struct ResponseSurface {
+    /// Curvature of the loss bowl in `log10(lr)`.
+    pub sensitivity: f64,
+    /// Trial-to-trial noise amplitude.
+    pub noise: f64,
+}
+
+impl Default for ResponseSurface {
+    fn default() -> Self {
+        ResponseSurface {
+            sensitivity: 0.35,
+            noise: 0.01,
+        }
+    }
+}
+
+impl ResponseSurface {
+    /// The size-dependent optimal learning rate: larger models want
+    /// smaller peaks (the empirical ~`params^-1/3` trend).
+    pub fn optimal_lr(params: f64) -> f64 {
+        3.0e-3 * (1.0e9 / params).powf(1.0 / 3.0)
+    }
+
+    /// Evaluate one trial: base loss plus the quadratic penalty for
+    /// missing the optimum, plus noise.
+    pub fn trial_loss(&self, model: &ModelConfig, hp: HyperParams, rng: &mut SimRng) -> f64 {
+        assert!(hp.lr > 0.0, "learning rate must be positive");
+        let opt = Self::optimal_lr(model.params());
+        let miss = (hp.lr / opt).log10();
+        let base = 2.0 + 8.0 * (model.params() / 1e9).powf(-0.05);
+        base + self.sensitivity * miss * miss + self.noise * (rng.f64() * 2.0 - 1.0)
+    }
+
+    /// GPU-hours for one tuning trial of `model` over `tokens`, assuming
+    /// 150 TFLOP/s sustained per A100.
+    pub fn trial_gpu_hours(model: &ModelConfig, tokens: u64) -> f64 {
+        model.train_flops_per_token() * tokens as f64 / 150e12 / 3600.0
+    }
+}
+
+/// A tuning outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TuningResult {
+    /// The selected hyperparameters.
+    pub best: HyperParams,
+    /// Loss of the selected point at target scale.
+    pub target_loss: f64,
+    /// Total GPU-hours spent tuning.
+    pub gpu_hours: f64,
+}
+
+/// Log-uniform learning-rate draw over `[1e-5, 1e-1]`.
+fn sample_lr(rng: &mut SimRng) -> f64 {
+    10f64.powf(rng.range_f64(-5.0, -1.0))
+}
+
+/// Direct random search: `trials` full trials on the target model.
+pub fn random_search(
+    surface: &ResponseSurface,
+    target: &ModelConfig,
+    trials: u32,
+    tokens_per_trial: u64,
+    rng: &mut SimRng,
+) -> TuningResult {
+    assert!(trials > 0, "need at least one trial");
+    let mut best = HyperParams { lr: sample_lr(rng) };
+    let mut best_loss = surface.trial_loss(target, best, rng);
+    for _ in 1..trials {
+        let hp = HyperParams { lr: sample_lr(rng) };
+        let loss = surface.trial_loss(target, hp, rng);
+        if loss < best_loss {
+            best = hp;
+            best_loss = loss;
+        }
+    }
+    TuningResult {
+        best,
+        target_loss: best_loss,
+        gpu_hours: trials as f64 * ResponseSurface::trial_gpu_hours(target, tokens_per_trial),
+    }
+}
+
+/// Hydro-style surrogate transfer: random-search the surrogate, map the
+/// found optimum through the size-scaling law, confirm with `confirm`
+/// trials at target scale around the mapped point.
+pub fn surrogate_search(
+    surface: &ResponseSurface,
+    surrogate: &ModelConfig,
+    target: &ModelConfig,
+    surrogate_trials: u32,
+    confirm: u32,
+    tokens_per_trial: u64,
+    rng: &mut SimRng,
+) -> TuningResult {
+    assert!(
+        surrogate_trials > 0 && confirm > 0,
+        "need trials on both scales"
+    );
+    // Phase 1: cheap search at surrogate scale.
+    let small = random_search(surface, surrogate, surrogate_trials, tokens_per_trial, rng);
+    // Phase 2: transfer through the scaling law.
+    let scale = ResponseSurface::optimal_lr(target.params())
+        / ResponseSurface::optimal_lr(surrogate.params());
+    let mapped = HyperParams {
+        lr: small.best.lr * scale,
+    };
+    // Phase 3: confirm around the mapped point (±25% grid).
+    let mut best = mapped;
+    let mut best_loss = surface.trial_loss(target, mapped, rng);
+    for k in 1..confirm {
+        let factor = 1.0
+            + 0.25
+                * if k % 2 == 0 {
+                    k as f64 / 2.0
+                } else {
+                    -((k + 1) as f64) / 2.0
+                }
+                / 2.0;
+        let hp = HyperParams {
+            lr: mapped.lr * factor,
+        };
+        let loss = surface.trial_loss(target, hp, rng);
+        if loss < best_loss {
+            best = hp;
+            best_loss = loss;
+        }
+    }
+    TuningResult {
+        best,
+        target_loss: best_loss,
+        gpu_hours: small.gpu_hours
+            + confirm as f64 * ResponseSurface::trial_gpu_hours(target, tokens_per_trial),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOKENS: u64 = 2_000_000_000; // 2B-token tuning trials
+
+    #[test]
+    fn optimal_lr_shrinks_with_size() {
+        let small = ResponseSurface::optimal_lr(7e9);
+        let big = ResponseSurface::optimal_lr(123e9);
+        assert!(big < small);
+        assert!((small / big - (123.0f64 / 7.0).powf(1.0 / 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loss_bowl_is_minimized_at_the_optimum() {
+        let s = ResponseSurface {
+            noise: 0.0,
+            ..Default::default()
+        };
+        let m = ModelConfig::dense_7b();
+        let opt = ResponseSurface::optimal_lr(m.params());
+        let mut rng = SimRng::new(1);
+        let at_opt = s.trial_loss(&m, HyperParams { lr: opt }, &mut rng);
+        for factor in [0.1, 0.5, 2.0, 10.0] {
+            let off = s.trial_loss(&m, HyperParams { lr: opt * factor }, &mut rng);
+            assert!(off > at_opt, "lr×{factor} should be worse");
+        }
+    }
+
+    #[test]
+    fn surrogate_transfer_matches_quality_at_fraction_of_cost() {
+        let s = ResponseSurface::default();
+        let surrogate = ModelConfig::dense_7b();
+        let target = ModelConfig::dense_123b();
+        let mut r1 = SimRng::new(2);
+        let mut r2 = SimRng::new(2);
+        let direct = random_search(&s, &target, 16, TOKENS, &mut r1);
+        let hydro = surrogate_search(&s, &surrogate, &target, 16, 2, TOKENS, &mut r2);
+        // Hydro: comparable loss...
+        assert!(
+            hydro.target_loss < direct.target_loss + 0.05,
+            "hydro {:.3} vs direct {:.3}",
+            hydro.target_loss,
+            direct.target_loss
+        );
+        // ...at a small fraction of the GPU-hours (16 surrogate trials at
+        // 7B + 2 at 123B vs 16 at 123B).
+        assert!(
+            hydro.gpu_hours < 0.25 * direct.gpu_hours,
+            "hydro {:.0} vs direct {:.0} GPU-hours",
+            hydro.gpu_hours,
+            direct.gpu_hours
+        );
+    }
+
+    #[test]
+    fn transferred_lr_lands_near_the_target_optimum() {
+        let s = ResponseSurface {
+            noise: 0.0,
+            ..Default::default()
+        };
+        let mut rng = SimRng::new(3);
+        let result = surrogate_search(
+            &s,
+            &ModelConfig::dense_7b(),
+            &ModelConfig::dense_123b(),
+            64,
+            3,
+            TOKENS,
+            &mut rng,
+        );
+        let opt = ResponseSurface::optimal_lr(ModelConfig::dense_123b().params());
+        let miss = (result.best.lr / opt).log10().abs();
+        assert!(miss < 0.35, "transferred lr off by 10^{miss:.2}");
+    }
+
+    #[test]
+    fn more_trials_never_hurt_random_search() {
+        let s = ResponseSurface::default();
+        let target = ModelConfig::dense_7b();
+        let mut r1 = SimRng::new(4);
+        let mut r2 = SimRng::new(4);
+        let few = random_search(&s, &target, 4, TOKENS, &mut r1);
+        let many = random_search(&s, &target, 64, TOKENS, &mut r2);
+        // Same seed: the first 4 draws coincide, so more trials can only
+        // improve the best.
+        assert!(many.target_loss <= few.target_loss);
+        assert!(many.gpu_hours > few.gpu_hours);
+    }
+
+    #[test]
+    fn costs_scale_with_model_and_tokens() {
+        let small = ResponseSurface::trial_gpu_hours(&ModelConfig::dense_7b(), TOKENS);
+        let big = ResponseSurface::trial_gpu_hours(&ModelConfig::dense_123b(), TOKENS);
+        assert!(big > 15.0 * small);
+    }
+}

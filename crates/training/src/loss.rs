@@ -1,0 +1,368 @@
+//! Loss curves, loss spikes, and spike-triggered recovery (§5.3, §6.1.3).
+//!
+//! §5.3 lists three restart triggers; the second is an anomalous training
+//! metric — a **loss spike**: "a sudden increase in the loss that was
+//! previously decreasing normally, and does not recover over a certain
+//! period". The pretraining framework watches the loss and, on a spike,
+//! the recovery system reverts to an *earlier healthy* checkpoint and
+//! *skips the subsequent data batches* (§6.1.3) — skipping matters because
+//! replaying the same batches reproduces the same spike.
+//!
+//! This module models the loss as a power-law decay plus noise, injects
+//! spikes tied to *data positions* (so a replay without skipping hits them
+//! again), and implements the detector.
+
+use acme_sim_core::SimRng;
+
+/// The smooth component of an LLM pretraining loss curve:
+/// `floor + scale · (iter + 1)^(−alpha)`.
+#[derive(Debug, Clone, Copy)]
+pub struct LossCurve {
+    /// Irreducible loss.
+    pub floor: f64,
+    /// Initial excess loss.
+    pub scale: f64,
+    /// Power-law exponent.
+    pub alpha: f64,
+    /// Multiplicative noise amplitude.
+    pub noise: f64,
+}
+
+impl Default for LossCurve {
+    fn default() -> Self {
+        // A 100B-class curve: starts ≈ 11, reaches ≈ 2 after ~100K steps.
+        LossCurve {
+            floor: 1.7,
+            scale: 9.5,
+            alpha: 0.28,
+            noise: 0.015,
+        }
+    }
+}
+
+impl LossCurve {
+    /// The noiseless loss at an iteration.
+    pub fn smooth(&self, iter: u64) -> f64 {
+        self.floor + self.scale * ((iter + 1) as f64).powf(-self.alpha)
+    }
+
+    /// The observed loss at an iteration (with measurement noise).
+    pub fn observed(&self, iter: u64, rng: &mut SimRng) -> f64 {
+        self.smooth(iter) * (1.0 + self.noise * (rng.f64() * 2.0 - 1.0))
+    }
+}
+
+/// A spike anchored to a *data position*: consuming that batch sends the
+/// loss up by `magnitude` and it does not recover while the bad data
+/// region (of `width` batches) is being consumed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataSpike {
+    /// First bad batch index.
+    pub data_position: u64,
+    /// Number of consecutive bad batches.
+    pub width: u64,
+    /// Loss increase while inside the bad region.
+    pub magnitude: f64,
+}
+
+/// A training run's view of the data stream: which batch an iteration
+/// consumes, given regions that recovery has skipped.
+#[derive(Debug, Clone, Default)]
+pub struct DataCursor {
+    /// `(start, len)` of skipped regions, in batch coordinates.
+    skipped: Vec<(u64, u64)>,
+}
+
+impl DataCursor {
+    /// A cursor with nothing skipped.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Skip `len` batches starting at `start`.
+    pub fn skip(&mut self, start: u64, len: u64) {
+        self.skipped.push((start, len));
+        self.skipped.sort_unstable();
+    }
+
+    /// The batch consumed at `iter`: iterations advance through the data
+    /// stream, jumping over skipped regions.
+    pub fn batch_for_iter(&self, iter: u64) -> u64 {
+        let mut batch = iter;
+        for &(start, len) in &self.skipped {
+            if batch >= start {
+                batch += len;
+            }
+        }
+        batch
+    }
+}
+
+/// Evaluate the loss at an iteration, given the data cursor and spikes.
+pub fn loss_with_spikes(
+    curve: &LossCurve,
+    spikes: &[DataSpike],
+    cursor: &DataCursor,
+    iter: u64,
+    rng: &mut SimRng,
+) -> f64 {
+    let batch = cursor.batch_for_iter(iter);
+    let mut loss = curve.observed(iter, rng);
+    for s in spikes {
+        if batch >= s.data_position && batch < s.data_position + s.width {
+            loss += s.magnitude;
+        }
+    }
+    loss
+}
+
+/// The spike detector: flags a spike when the loss exceeds the recent
+/// windowed minimum by `threshold` for `persistence` consecutive steps —
+/// §5.3's "does not recover over a certain period".
+#[derive(Debug, Clone)]
+pub struct SpikeDetector {
+    window: Vec<f64>,
+    window_len: usize,
+    threshold: f64,
+    persistence: u32,
+    above: u32,
+}
+
+impl SpikeDetector {
+    /// A detector with the given rolling window, absolute loss threshold
+    /// and persistence requirement.
+    ///
+    /// # Panics
+    /// Panics on a zero window or persistence.
+    pub fn new(window_len: usize, threshold: f64, persistence: u32) -> Self {
+        assert!(window_len > 0 && persistence > 0, "bad detector parameters");
+        SpikeDetector {
+            window: Vec::with_capacity(window_len),
+            window_len,
+            threshold,
+            persistence,
+            above: 0,
+        }
+    }
+
+    /// The paper-ish default: a 50-step window, +0.5 loss, 20 steps of
+    /// persistence (transient blips recover on their own).
+    pub fn standard() -> Self {
+        Self::new(50, 0.5, 20)
+    }
+
+    /// Feed one observation; returns `true` when a spike is confirmed.
+    pub fn observe(&mut self, loss: f64) -> bool {
+        let baseline = self.window.iter().copied().fold(f64::INFINITY, f64::min);
+        let spiking = self.window.len() >= self.window_len / 2 && loss > baseline + self.threshold;
+        if spiking {
+            self.above += 1;
+        } else {
+            self.above = 0;
+            // Only healthy observations update the baseline window, so a
+            // long spike cannot poison its own reference.
+            if self.window.len() == self.window_len {
+                self.window.remove(0);
+            }
+            self.window.push(loss);
+        }
+        if self.above >= self.persistence {
+            self.above = 0;
+            return true;
+        }
+        false
+    }
+
+    /// Reset after a recovery rollback.
+    pub fn reset(&mut self) {
+        self.window.clear();
+        self.above = 0;
+    }
+}
+
+/// The outcome of a spike-recovery simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpikeRunOutcome {
+    /// Spikes detected.
+    pub detections: u32,
+    /// Final loss at the end of the run.
+    pub final_loss: f64,
+    /// Iterations spent inside a spiking regime.
+    pub spiked_iters: u64,
+}
+
+/// Run `iters` of training with spike detection and the chosen recovery.
+/// When `skip_data` is true, a detection rolls back and skips the bad
+/// region (§6.1.3); when false it only rolls back — and hits the same data
+/// again.
+pub fn run_with_recovery(
+    curve: &LossCurve,
+    spikes: &[DataSpike],
+    iters: u64,
+    skip_data: bool,
+    max_retries: u32,
+    rng: &mut SimRng,
+) -> SpikeRunOutcome {
+    let mut cursor = DataCursor::new();
+    let mut detector = SpikeDetector::standard();
+    let mut detections = 0;
+    let mut spiked_iters = 0;
+    let mut retries = 0;
+    let mut iter = 0;
+    let mut final_loss = curve.smooth(0);
+    while iter < iters {
+        let loss = loss_with_spikes(curve, spikes, &cursor, iter, rng);
+        final_loss = loss;
+        if loss > curve.smooth(iter) + 0.25 {
+            spiked_iters += 1;
+        }
+        if detector.observe(loss) {
+            detections += 1;
+            detector.reset();
+            if skip_data {
+                // Revert to the healthy checkpoint just before the spike
+                // and skip the offending region.
+                let batch = cursor.batch_for_iter(iter);
+                if let Some(s) = spikes
+                    .iter()
+                    .find(|s| batch >= s.data_position && batch < s.data_position + s.width)
+                {
+                    let rollback = iter.saturating_sub(batch - s.data_position + 1);
+                    cursor.skip(cursor.batch_for_iter(rollback), s.width);
+                    iter = rollback;
+                    continue;
+                }
+            } else {
+                retries += 1;
+                if retries <= max_retries {
+                    // Plain rollback: replay the same window (and the same
+                    // data) — the spike will simply happen again.
+                    iter = iter.saturating_sub(100);
+                    continue;
+                }
+            }
+        }
+        iter += 1;
+    }
+    SpikeRunOutcome {
+        detections,
+        final_loss,
+        spiked_iters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_decreases_smoothly() {
+        let c = LossCurve::default();
+        assert!(c.smooth(0) > 10.0);
+        assert!(c.smooth(100_000) < 3.0);
+        for i in [0u64, 10, 1000, 100_000] {
+            assert!(c.smooth(i) > c.smooth(i + 1000));
+        }
+    }
+
+    #[test]
+    fn observed_noise_is_bounded() {
+        let c = LossCurve::default();
+        let mut rng = SimRng::new(1);
+        for i in 0..1000 {
+            let o = c.observed(i, &mut rng);
+            let s = c.smooth(i);
+            assert!((o - s).abs() <= s * c.noise + 1e-12);
+        }
+    }
+
+    #[test]
+    fn cursor_skips_regions() {
+        let mut cur = DataCursor::new();
+        assert_eq!(cur.batch_for_iter(10), 10);
+        cur.skip(5, 3);
+        assert_eq!(cur.batch_for_iter(4), 4);
+        assert_eq!(cur.batch_for_iter(5), 8);
+        assert_eq!(cur.batch_for_iter(10), 13);
+        cur.skip(20, 2);
+        assert_eq!(cur.batch_for_iter(17), 22);
+    }
+
+    #[test]
+    fn detector_fires_on_persistent_spike_only() {
+        let mut d = SpikeDetector::new(20, 0.5, 5);
+        // Healthy phase.
+        for i in 0..30 {
+            assert!(!d.observe(2.0 - i as f64 * 0.001));
+        }
+        // A transient 3-step blip: no detection.
+        for _ in 0..3 {
+            assert!(!d.observe(3.0));
+        }
+        assert!(!d.observe(2.0));
+        // A persistent spike: fires after 5 steps.
+        let mut fired = false;
+        for _ in 0..5 {
+            fired = d.observe(3.2);
+        }
+        assert!(fired);
+    }
+
+    #[test]
+    fn no_false_positives_on_clean_noisy_curve() {
+        let c = LossCurve::default();
+        let mut d = SpikeDetector::standard();
+        let mut rng = SimRng::new(2);
+        for i in 0..20_000 {
+            assert!(!d.observe(c.observed(i, &mut rng)), "false positive at {i}");
+        }
+    }
+
+    #[test]
+    fn detector_catches_injected_spike() {
+        let c = LossCurve::default();
+        let spikes = [DataSpike {
+            data_position: 5_000,
+            width: 400,
+            magnitude: 1.5,
+        }];
+        let cursor = DataCursor::new();
+        let mut d = SpikeDetector::standard();
+        let mut rng = SimRng::new(3);
+        let mut detected_at = None;
+        for i in 0..10_000 {
+            let loss = loss_with_spikes(&c, &spikes, &cursor, i, &mut rng);
+            if d.observe(loss) {
+                detected_at = Some(i);
+                break;
+            }
+        }
+        let at = detected_at.expect("spike must be detected");
+        assert!((5_000..5_200).contains(&at), "detected at {at}");
+    }
+
+    #[test]
+    fn skipping_data_avoids_the_spike_replaying_does_not() {
+        let c = LossCurve::default();
+        let spikes = [DataSpike {
+            data_position: 3_000,
+            width: 500,
+            magnitude: 2.0,
+        }];
+        let mut r1 = SimRng::new(4);
+        let mut r2 = SimRng::new(4);
+        let with_skip = run_with_recovery(&c, &spikes, 12_000, true, 5, &mut r1);
+        let without = run_with_recovery(&c, &spikes, 12_000, false, 3, &mut r2);
+        // §6.1.3's point: plain rollback replays the bad data and spikes
+        // again; skipping clears it after one detection.
+        assert_eq!(with_skip.detections, 1, "one detection then clean");
+        assert!(
+            without.detections > 1,
+            "replay re-detects ({} times)",
+            without.detections
+        );
+        assert!(with_skip.spiked_iters < without.spiked_iters);
+        // Both end healthy (the bad region is finite) but skip ends lower.
+        assert!(with_skip.final_loss <= without.final_loss + 0.1);
+    }
+}

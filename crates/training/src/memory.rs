@@ -1,0 +1,324 @@
+//! The GPU memory model (§4.1, Figures 11, 12, 20).
+//!
+//! Memory divides into a *static* part — parameters, gradients and Adam
+//! states, `2Ψ + 2Ψ + 12Ψ` bytes sharded per the strategy — and a *dynamic*
+//! part — activations, whose footprint depends on the schedule:
+//!
+//! * under 3D parallelism with 1F1B, pipeline rank `r` keeps `pp − r`
+//!   micro-batches of activations in flight, producing the Figure-12
+//!   imbalance and the tall dynamic band of Figure 11(a);
+//! * under hierarchical ZeRO with recomputation, only per-layer boundary
+//!   checkpoints (≈ 2 bytes/token/layer instead of ≈ 34) survive the
+//!   forward pass, giving the much flatter Figure 11(b).
+
+use crate::model::ModelConfig;
+use crate::parallelism::Strategy;
+
+/// Bytes per token per layer retained when recomputation is on: just the
+/// bf16 layer-boundary checkpoint.
+const RECOMPUTE_RESIDENT_BYTES_PER_TOKEN: f64 = 2.0;
+
+/// A point-in-time memory picture for one GPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemorySnapshot {
+    /// Parameters + gradients + optimizer states, GB.
+    pub static_gb: f64,
+    /// Peak activation (and gradient-of-activation) footprint, GB.
+    pub activation_peak_gb: f64,
+}
+
+impl MemorySnapshot {
+    /// Total peak allocation, GB.
+    pub fn total_gb(&self) -> f64 {
+        self.static_gb + self.activation_peak_gb
+    }
+}
+
+/// Computes memory footprints for a (model, strategy, batch) triple.
+#[derive(Debug, Clone)]
+pub struct MemoryModel {
+    model: ModelConfig,
+    strategy: Strategy,
+    /// Tokens processed per optimizer step across the whole job.
+    global_batch_tokens: u64,
+}
+
+impl MemoryModel {
+    /// Build a model.
+    ///
+    /// # Panics
+    /// Panics if the global batch doesn't divide evenly over the placement.
+    pub fn new(model: ModelConfig, strategy: Strategy, global_batch_tokens: u64) -> Self {
+        match strategy {
+            Strategy::ThreeD {
+                dp, micro_batches, ..
+            } => {
+                assert!(
+                    global_batch_tokens % (dp as u64 * micro_batches as u64) == 0,
+                    "global batch must divide over dp × micro-batches"
+                );
+            }
+            Strategy::HierarchicalZero { gpus, .. } => {
+                assert!(
+                    global_batch_tokens % gpus as u64 == 0,
+                    "global batch must divide over the GPU count"
+                );
+            }
+        }
+        MemoryModel {
+            model,
+            strategy,
+            global_batch_tokens,
+        }
+    }
+
+    /// The model being placed.
+    pub fn model(&self) -> &ModelConfig {
+        &self.model
+    }
+
+    /// The placement.
+    pub fn strategy(&self) -> &Strategy {
+        &self.strategy
+    }
+
+    /// Static (params + grads + optimizer) GB per GPU.
+    pub fn static_gb(&self) -> f64 {
+        self.strategy.static_bytes_per_gpu(&self.model) / 1e9
+    }
+
+    /// Activation bytes held by one GPU for one micro-batch (3D) or the
+    /// whole local batch (hierarchical ZeRO).
+    fn activation_unit_bytes(&self) -> f64 {
+        match self.strategy {
+            Strategy::ThreeD {
+                pp,
+                tp,
+                dp,
+                micro_batches,
+            } => {
+                let mb_tokens =
+                    self.global_batch_tokens as f64 / (dp as f64 * micro_batches as f64);
+                let layers_here = self.model.layers as f64 / pp as f64;
+                layers_here * self.model.activation_bytes_per_token_per_layer() * mb_tokens
+                    / tp as f64
+            }
+            Strategy::HierarchicalZero {
+                gpus, recompute, ..
+            } => {
+                let tokens_here = self.global_batch_tokens as f64 / gpus as f64;
+                let per_token_layer = if recompute {
+                    RECOMPUTE_RESIDENT_BYTES_PER_TOKEN * self.model.hidden as f64
+                } else {
+                    self.model.activation_bytes_per_token_per_layer()
+                };
+                self.model.layers as f64 * per_token_layer * tokens_here
+            }
+        }
+    }
+
+    /// Peak snapshot for a given pipeline rank (rank 0 is the first stage).
+    /// For non-pipelined strategies the rank argument is ignored.
+    ///
+    /// # Panics
+    /// Panics if `rank` is out of range for a pipelined strategy.
+    pub fn snapshot_for_rank(&self, rank: u32) -> MemorySnapshot {
+        let activation_peak_gb = match self.strategy {
+            Strategy::ThreeD {
+                pp, micro_batches, ..
+            } => {
+                assert!(rank < pp, "pipeline rank {rank} out of range (pp={pp})");
+                // 1F1B: rank r admits pp − r micro-batches before its first
+                // backward, capped by the number of micro-batches.
+                let in_flight = (pp - rank).min(micro_batches) as f64;
+                in_flight * self.activation_unit_bytes() / 1e9
+            }
+            Strategy::HierarchicalZero { .. } => self.activation_unit_bytes() / 1e9,
+        };
+        MemorySnapshot {
+            static_gb: self.static_gb(),
+            activation_peak_gb,
+        }
+    }
+
+    /// Figure-12 series: peak memory per pipeline rank. Non-pipelined
+    /// strategies return a single entry.
+    pub fn per_rank_peaks(&self) -> Vec<(u32, MemorySnapshot)> {
+        match self.strategy {
+            Strategy::ThreeD { pp, .. } => {
+                (0..pp).map(|r| (r, self.snapshot_for_rank(r))).collect()
+            }
+            Strategy::HierarchicalZero { .. } => vec![(0, self.snapshot_for_rank(0))],
+        }
+    }
+
+    /// Figure-11 series: `(fraction_of_step, static_gb, dynamic_gb)` samples
+    /// of allocated memory over one training step for the *first* pipeline
+    /// rank (the fullest one).
+    pub fn step_timeline(&self, samples: usize) -> Vec<(f64, f64, f64)> {
+        assert!(samples >= 4, "need a few samples to show the shape");
+        let static_gb = self.static_gb();
+        let unit = self.activation_unit_bytes() / 1e9;
+        (0..samples)
+            .map(|i| {
+                let x = i as f64 / (samples - 1) as f64;
+                let dynamic = match self.strategy {
+                    Strategy::ThreeD {
+                        pp, micro_batches, ..
+                    } => {
+                        // Warmup ramp to pp in-flight, 1F1B plateau with a
+                        // sawtooth, cooldown drain.
+                        let peak = (pp.min(micro_batches)) as f64;
+                        let warm_end = 0.15;
+                        let cool_start = 0.85;
+                        let level = if x < warm_end {
+                            peak * (x / warm_end)
+                        } else if x > cool_start {
+                            peak * ((1.0 - x) / (1.0 - cool_start))
+                        } else {
+                            // Steady 1F1B: oscillate ±half a micro-batch.
+                            peak - 0.5 + 0.5 * (x * 40.0 * std::f64::consts::PI).sin()
+                        };
+                        level.max(0.0) * unit
+                    }
+                    Strategy::HierarchicalZero { .. } => {
+                        // Forward accumulates boundary checkpoints; backward
+                        // releases them.
+                        let level = if x < 0.5 { x / 0.5 } else { (1.0 - x) / 0.5 };
+                        level * unit
+                    }
+                };
+                (x, static_gb, dynamic)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GLOBAL_BATCH: u64 = 4 * 1024 * 1024; // 4M tokens/step
+
+    fn v1() -> MemoryModel {
+        MemoryModel::new(
+            ModelConfig::dense_123b(),
+            Strategy::three_d_paper(2048),
+            GLOBAL_BATCH,
+        )
+    }
+
+    fn v2() -> MemoryModel {
+        MemoryModel::new(
+            ModelConfig::dense_123b(),
+            Strategy::hierarchical_paper(2048),
+            GLOBAL_BATCH,
+        )
+    }
+
+    #[test]
+    fn everything_fits_in_80gb() {
+        for m in [v1(), v2()] {
+            for (r, snap) in m.per_rank_peaks() {
+                assert!(
+                    snap.total_gb() < 80.0,
+                    "{}: rank {r} needs {:.1} GB",
+                    m.strategy().label(),
+                    snap.total_gb()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn three_d_activations_substantially_higher() {
+        // Figure 11's headline: 3D parallelism's activation band dwarfs
+        // hierarchical ZeRO's.
+        let a1 = v1().snapshot_for_rank(0).activation_peak_gb;
+        let a2 = v2().snapshot_for_rank(0).activation_peak_gb;
+        assert!(a1 > 1.8 * a2, "3D {a1:.1} GB vs hierarchical {a2:.1} GB");
+    }
+
+    #[test]
+    fn pipeline_rank_imbalance_monotone() {
+        // Figure 12: earlier ranks hold more in-flight activations.
+        let peaks = v1().per_rank_peaks();
+        assert_eq!(peaks.len(), 4);
+        for w in peaks.windows(2) {
+            assert!(
+                w[0].1.activation_peak_gb > w[1].1.activation_peak_gb,
+                "rank {} should exceed rank {}",
+                w[0].0,
+                w[1].0
+            );
+        }
+        // First-to-last ratio is pp:1 = 4:1.
+        let ratio = peaks[0].1.activation_peak_gb / peaks[3].1.activation_peak_gb;
+        assert!((ratio - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn statics_match_strategy_math() {
+        let m = ModelConfig::dense_123b();
+        assert!(
+            (v1().static_gb() - Strategy::three_d_paper(2048).static_bytes_per_gpu(&m) / 1e9).abs()
+                < 1e-12
+        );
+        // Hierarchical static is higher (redundant 64-way shard vs 32-way
+        // model split), trading memory for communication locality.
+        assert!(v2().static_gb() > 0.0);
+    }
+
+    #[test]
+    fn recompute_off_blows_past_hbm() {
+        let no_recompute = MemoryModel::new(
+            ModelConfig::dense_123b(),
+            Strategy::HierarchicalZero {
+                shard_group: 64,
+                gpus: 2048,
+                recompute: false,
+            },
+            GLOBAL_BATCH,
+        );
+        // Without recomputation the full 34·h activations can't fit —
+        // which is exactly why the paper's V2 enables it.
+        assert!(no_recompute.snapshot_for_rank(0).total_gb() > 80.0);
+    }
+
+    #[test]
+    fn timeline_shape_ramps_and_drains() {
+        for m in [v1(), v2()] {
+            let tl = m.step_timeline(101);
+            assert_eq!(tl.len(), 101);
+            // Starts and ends near zero dynamic memory.
+            assert!(tl[0].2 < 0.3 * tl[50].2 + 1e-9);
+            assert!(tl[100].2 < 1e-9);
+            // Static band is constant.
+            assert!(tl.iter().all(|&(_, s, _)| (s - tl[0].1).abs() < 1e-12));
+            // Peak dynamic matches the rank-0 snapshot within the sawtooth.
+            let peak = tl.iter().map(|&(_, _, d)| d).fold(0.0, f64::max);
+            let snap = m.snapshot_for_rank(0).activation_peak_gb;
+            assert!(peak <= snap + 1e-9);
+            assert!(peak > 0.5 * snap);
+        }
+    }
+
+    #[test]
+    fn smaller_fleet_same_shape_fig19_20() {
+        // §A.4: the 1024-GPU profile mirrors the 2048-GPU one.
+        let small = MemoryModel::new(
+            ModelConfig::dense_123b(),
+            Strategy::three_d_paper(1024),
+            GLOBAL_BATCH,
+        );
+        let peaks = small.per_rank_peaks();
+        assert_eq!(peaks.len(), 4);
+        assert!(peaks[0].1.activation_peak_gb > peaks[3].1.activation_peak_gb);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rank_out_of_range_panics() {
+        v1().snapshot_for_rank(4);
+    }
+}

@@ -1,0 +1,336 @@
+//! Long-horizon training progress under failures (Figure 14, §5.3).
+//!
+//! A pretraining job alternates between making progress, failing, rolling
+//! back to its last checkpoint, and waiting for somebody (or something) to
+//! restart it. Figure 14 contrasts two generations:
+//!
+//! * the early **104B** run — sparse checkpoints, purely manual recovery
+//!   (with painful overnight gaps while the on-call slept), big rollbacks;
+//! * the later **123B** run — 30-minute checkpoints and graceful
+//!   termination, so interruptions lose little progress but still demand
+//!   rapid manual restarts.
+
+use acme_sim_core::{SimDuration, SimRng, SimTime};
+
+/// How interrupted training gets back on its feet.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryPolicy {
+    /// Checkpoint cadence.
+    pub checkpoint_interval: SimDuration,
+    /// Whether restarts require a human (true for both Figure-14 runs; the
+    /// §6.1 system flips this off).
+    pub manual_restart: bool,
+    /// Whether planned terminations first save state (the 123B run's
+    /// graceful-termination feature) — halving effective rollback loss.
+    pub graceful_termination: bool,
+    /// Cold-start cost per restart: checkpoint load + initialization.
+    pub restart_overhead: SimDuration,
+    /// Mean human reaction time during the day, for manual restarts.
+    pub daytime_reaction: SimDuration,
+}
+
+impl RecoveryPolicy {
+    /// The early 104B configuration.
+    pub fn early_104b() -> Self {
+        RecoveryPolicy {
+            checkpoint_interval: SimDuration::from_hours(5),
+            manual_restart: true,
+            graceful_termination: false,
+            restart_overhead: SimDuration::from_mins(40),
+            daytime_reaction: SimDuration::from_mins(30),
+        }
+    }
+
+    /// The improved 123B configuration (§5.3).
+    pub fn improved_123b() -> Self {
+        RecoveryPolicy {
+            checkpoint_interval: SimDuration::from_mins(30),
+            manual_restart: true,
+            graceful_termination: true,
+            restart_overhead: SimDuration::from_mins(15),
+            daytime_reaction: SimDuration::from_mins(20),
+        }
+    }
+
+    /// The §6.1 fault-tolerant system: automatic restart from the latest
+    /// properly saved checkpoint.
+    pub fn automatic() -> Self {
+        RecoveryPolicy {
+            checkpoint_interval: SimDuration::from_mins(30),
+            manual_restart: false,
+            graceful_termination: true,
+            restart_overhead: SimDuration::from_mins(10),
+            daytime_reaction: SimDuration::ZERO,
+        }
+    }
+}
+
+/// The outcome of one simulated training campaign.
+#[derive(Debug, Clone)]
+pub struct ProgressTrace {
+    /// `(wall time, iteration)` breakpoints: segment starts and ends.
+    pub points: Vec<(SimTime, u64)>,
+    /// Iterations completed and *kept* by the end of the horizon.
+    pub final_iteration: u64,
+    /// Iterations recomputed because of rollbacks.
+    pub lost_iterations: u64,
+    /// Wall time spent down (waiting + restarting).
+    pub downtime: SimDuration,
+    /// Number of restarts.
+    pub restarts: u32,
+    /// Restarts that needed a human.
+    pub manual_interventions: u32,
+}
+
+impl ProgressTrace {
+    /// Goodput: kept iterations per wall hour.
+    pub fn goodput_iters_per_hour(&self, horizon: SimDuration) -> f64 {
+        self.final_iteration as f64 / horizon.as_hours_f64()
+    }
+}
+
+/// Simulates a pretraining campaign against a failure schedule.
+#[derive(Debug, Clone)]
+pub struct ProgressSim {
+    /// Wall time per training iteration.
+    pub iter_time: SimDuration,
+    /// Recovery configuration.
+    pub policy: RecoveryPolicy,
+}
+
+impl ProgressSim {
+    /// Build a simulator.
+    ///
+    /// # Panics
+    /// Panics if the iteration time is zero.
+    pub fn new(iter_time: SimDuration, policy: RecoveryPolicy) -> Self {
+        assert!(!iter_time.is_zero(), "iteration time must be positive");
+        ProgressSim { iter_time, policy }
+    }
+
+    /// Run until `horizon`, failing at each time in `failures` (must be
+    /// sorted ascending). Failures that strike while the job is already
+    /// down are absorbed by the ongoing recovery.
+    pub fn run(
+        &self,
+        rng: &mut SimRng,
+        failures: &[SimTime],
+        horizon: SimDuration,
+    ) -> ProgressTrace {
+        assert!(
+            failures.windows(2).all(|w| w[0] <= w[1]),
+            "failure schedule must be sorted"
+        );
+        let end = SimTime::ZERO + horizon;
+        let mut now = SimTime::ZERO;
+        let mut iter: u64 = 0; // durable progress (as of last checkpoint or clean state)
+        let mut points = vec![(now, iter)];
+        let mut lost: u64 = 0;
+        let mut downtime = SimDuration::ZERO;
+        let mut restarts = 0;
+        let mut manual = 0;
+
+        let mut fi = 0;
+        while now < end {
+            // Next interruption while running, if any.
+            while fi < failures.len() && failures[fi] < now {
+                fi += 1; // absorbed by downtime
+            }
+            let fail_at = failures.get(fi).copied().unwrap_or(SimTime::MAX).min(end);
+            let run_span = fail_at - now;
+            let iters_run = run_span.as_micros() / self.iter_time.as_micros();
+            let reached = iter + iters_run;
+
+            if fail_at >= end {
+                // Clean run to the horizon.
+                let t = now + self.iter_time * iters_run;
+                points.push((t.min(end), reached));
+                iter = reached;
+                break;
+            }
+
+            // Failure: roll back to the last checkpoint boundary.
+            let ckpt_iters =
+                self.policy.checkpoint_interval.as_micros() / self.iter_time.as_micros();
+            let ckpt_iters = ckpt_iters.max(1);
+            let kept = if self.policy.graceful_termination && rng.chance(0.5) {
+                // Half the interruptions are graceful (user-pause, planned
+                // maintenance): state is saved at the kill point.
+                reached
+            } else {
+                iter + (iters_run / ckpt_iters) * ckpt_iters
+            };
+            points.push((fail_at, reached));
+            points.push((fail_at, kept));
+            lost += reached - kept;
+
+            // Recovery delay.
+            let wait = if self.policy.manual_restart {
+                manual += 1;
+                self.manual_delay(fail_at, rng)
+            } else {
+                SimDuration::from_mins(2) // detection + reschedule
+            };
+            let back_up = fail_at + wait + self.policy.restart_overhead;
+            downtime += back_up - fail_at;
+            restarts += 1;
+            iter = kept;
+            now = back_up;
+            points.push((now.min(end), iter));
+            fi += 1;
+        }
+
+        ProgressTrace {
+            points,
+            final_iteration: iter,
+            lost_iterations: lost,
+            downtime,
+            restarts,
+            manual_interventions: manual,
+        }
+    }
+
+    /// Human reaction time: short in the day, until-morning at night.
+    fn manual_delay(&self, at: SimTime, rng: &mut SimRng) -> SimDuration {
+        let hour = (at.as_secs() / 3600) % 24;
+        let night = !(8..23).contains(&hour);
+        if night {
+            // Sleep until ~08:00 next morning plus a coffee.
+            let secs_into_day = at.as_secs() % 86_400;
+            let morning = if secs_into_day < 8 * 3600 {
+                8 * 3600 - secs_into_day
+            } else {
+                86_400 - secs_into_day + 8 * 3600
+            };
+            SimDuration::from_secs(morning) + SimDuration::from_mins(rng.range_u64(10, 40))
+        } else {
+            self.policy.daytime_reaction.mul_f64(0.5 + rng.f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim(policy: RecoveryPolicy) -> ProgressSim {
+        ProgressSim::new(SimDuration::from_secs(12), policy)
+    }
+
+    fn day_failures() -> Vec<SimTime> {
+        // Failures at 10:00 on days 0, 2, 4 and 03:00 on days 1, 3.
+        let mut f = vec![];
+        for d in 0..5u64 {
+            let base = d * 86_400;
+            let hour = if d % 2 == 0 { 10 } else { 3 };
+            f.push(SimTime::from_secs(base + hour * 3600));
+        }
+        f
+    }
+
+    #[test]
+    fn no_failures_run_straight_through() {
+        let mut rng = SimRng::new(1);
+        let t = sim(RecoveryPolicy::improved_123b()).run(&mut rng, &[], SimDuration::from_days(1));
+        assert_eq!(t.restarts, 0);
+        assert_eq!(t.lost_iterations, 0);
+        assert_eq!(t.downtime, SimDuration::ZERO);
+        assert_eq!(t.final_iteration, 86_400 / 12);
+    }
+
+    #[test]
+    fn failures_cost_progress_and_downtime() {
+        let mut rng = SimRng::new(2);
+        let t = sim(RecoveryPolicy::early_104b()).run(
+            &mut rng,
+            &day_failures(),
+            SimDuration::from_days(5),
+        );
+        assert_eq!(t.restarts, 5);
+        assert_eq!(t.manual_interventions, 5);
+        assert!(t.lost_iterations > 0);
+        assert!(
+            t.downtime > SimDuration::from_hours(5),
+            "night waits add up"
+        );
+        assert!(t.final_iteration < 5 * 86_400 / 12);
+    }
+
+    #[test]
+    fn improved_policy_loses_less() {
+        let mut r1 = SimRng::new(3);
+        let mut r2 = SimRng::new(3);
+        let horizon = SimDuration::from_days(5);
+        let early = sim(RecoveryPolicy::early_104b()).run(&mut r1, &day_failures(), horizon);
+        let improved = sim(RecoveryPolicy::improved_123b()).run(&mut r2, &day_failures(), horizon);
+        // Figure 14: the 123B run is visibly more stable.
+        assert!(improved.lost_iterations < early.lost_iterations / 2);
+        assert!(improved.final_iteration > early.final_iteration);
+    }
+
+    #[test]
+    fn automatic_recovery_eliminates_manual_interventions() {
+        let mut rng = SimRng::new(4);
+        let t = sim(RecoveryPolicy::automatic()).run(
+            &mut rng,
+            &day_failures(),
+            SimDuration::from_days(5),
+        );
+        assert_eq!(t.manual_interventions, 0);
+        assert_eq!(t.restarts, 5);
+        assert!(t.downtime < SimDuration::from_hours(2));
+    }
+
+    #[test]
+    fn night_failures_wait_until_morning() {
+        let mut rng = SimRng::new(5);
+        // One failure at 02:00.
+        let failures = vec![SimTime::from_secs(2 * 3600)];
+        let t =
+            sim(RecoveryPolicy::early_104b()).run(&mut rng, &failures, SimDuration::from_days(1));
+        // At least six hours of downtime (02:00 → 08:00).
+        assert!(
+            t.downtime >= SimDuration::from_hours(6),
+            "downtime {}",
+            t.downtime
+        );
+    }
+
+    #[test]
+    fn points_are_monotone_in_time() {
+        let mut rng = SimRng::new(6);
+        let t = sim(RecoveryPolicy::early_104b()).run(
+            &mut rng,
+            &day_failures(),
+            SimDuration::from_days(5),
+        );
+        for w in t.points.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+        }
+        // First and last points bracket the run.
+        assert_eq!(t.points.first().unwrap().0, SimTime::ZERO);
+    }
+
+    #[test]
+    fn failures_during_downtime_are_absorbed() {
+        let mut rng = SimRng::new(7);
+        // A cluster of failures one minute apart at 03:00: the job is down
+        // until morning, so they collapse into one restart.
+        let failures: Vec<SimTime> = (0..5)
+            .map(|i| SimTime::from_secs(3 * 3600 + i * 60))
+            .collect();
+        let t =
+            sim(RecoveryPolicy::early_104b()).run(&mut rng, &failures, SimDuration::from_days(1));
+        assert_eq!(t.restarts, 1, "downtime absorbs the burst");
+    }
+
+    #[test]
+    fn goodput_reflects_interruption_cost() {
+        let mut r1 = SimRng::new(8);
+        let mut r2 = SimRng::new(8);
+        let horizon = SimDuration::from_days(5);
+        let clean = sim(RecoveryPolicy::automatic()).run(&mut r1, &[], horizon);
+        let rough = sim(RecoveryPolicy::early_104b()).run(&mut r2, &day_failures(), horizon);
+        assert!(clean.goodput_iters_per_hour(horizon) > rough.goodput_iters_per_hour(horizon));
+    }
+}

@@ -1,0 +1,338 @@
+//! SM-utilization step timelines (Figures 10, 19, 22).
+//!
+//! A training step is a sequence of phases — pipeline bubbles, compute
+//! bursts, exposed collectives — each with a duration and a characteristic
+//! SM activity. The phase structure comes straight from the parallelization
+//! arithmetic in [`Strategy`]; sampling the phase list at a fixed interval
+//! reproduces the paper's 1 ms DCGM profiles.
+
+use crate::model::ModelConfig;
+use crate::parallelism::Strategy;
+
+/// A100 dense BF16 peak, used to convert FLOPs to seconds.
+const A100_PEAK_FLOPS: f64 = 312e12;
+
+/// Achieved fraction of peak inside a dense compute burst.
+const DENSE_KERNEL_EFFICIENCY: f64 = 0.55;
+
+/// Achieved fraction of peak inside an MoE compute burst (smaller, less
+/// fusable expert GEMMs).
+const MOE_KERNEL_EFFICIENCY: f64 = 0.45;
+
+/// What a slice of the step is doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseKind {
+    /// Pipeline bubble — GPUs waiting on upstream/downstream stages.
+    Bubble,
+    /// Dense/forward/backward compute.
+    Compute,
+    /// Exposed (non-overlapped) collective communication.
+    Communication,
+}
+
+/// One contiguous slice of the step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Phase {
+    /// What's happening.
+    pub kind: PhaseKind,
+    /// Wall time, milliseconds.
+    pub duration_ms: f64,
+    /// SM activity during the slice, percent.
+    pub sm_util: f64,
+}
+
+/// A full training step as a phase sequence.
+#[derive(Debug, Clone)]
+pub struct StepTimeline {
+    label: String,
+    phases: Vec<Phase>,
+}
+
+impl StepTimeline {
+    /// Model a dense-model step under the given strategy.
+    pub fn dense(model: &ModelConfig, strategy: &Strategy, global_batch_tokens: u64) -> Self {
+        assert!(model.moe.is_none(), "use StepTimeline::moe for MoE models");
+        let gpus = strategy.gpus() as f64;
+        let flops = model.train_flops_per_token()
+            * global_batch_tokens as f64
+            * (1.0 + strategy.recompute_overhead());
+        let compute_ms = flops / (gpus * A100_PEAK_FLOPS * DENSE_KERNEL_EFFICIENCY) * 1e3;
+
+        let bubble = strategy.bubble_fraction();
+        let comm = strategy.exposed_comm_fraction();
+        let busy_frac = 1.0 - bubble - comm;
+        let step_ms = compute_ms / busy_frac;
+
+        let mut phases = Vec::new();
+        match strategy {
+            Strategy::ThreeD { micro_batches, .. } => {
+                // Warmup bubble, m × (compute burst + exposed collective),
+                // cooldown bubble.
+                let m = *micro_batches as usize;
+                let bubble_ms = step_ms * bubble / 2.0;
+                let burst_ms = compute_ms / m as f64;
+                let comm_ms = step_ms * comm / m as f64;
+                phases.push(Phase {
+                    kind: PhaseKind::Bubble,
+                    duration_ms: bubble_ms,
+                    sm_util: 2.0,
+                });
+                for _ in 0..m {
+                    phases.push(Phase {
+                        kind: PhaseKind::Compute,
+                        duration_ms: burst_ms,
+                        sm_util: 85.0,
+                    });
+                    phases.push(Phase {
+                        kind: PhaseKind::Communication,
+                        duration_ms: comm_ms,
+                        sm_util: 8.0,
+                    });
+                }
+                phases.push(Phase {
+                    kind: PhaseKind::Bubble,
+                    duration_ms: bubble_ms,
+                    sm_util: 2.0,
+                });
+            }
+            Strategy::HierarchicalZero { .. } => {
+                // Fine-grained overlap: long bursts with thin exposed
+                // all-gather/reduce-scatter slices at step boundaries.
+                let chunks = 8;
+                let burst_ms = compute_ms / chunks as f64;
+                let comm_ms = step_ms * comm / chunks as f64;
+                for _ in 0..chunks {
+                    phases.push(Phase {
+                        kind: PhaseKind::Compute,
+                        duration_ms: burst_ms,
+                        sm_util: 92.0,
+                    });
+                    phases.push(Phase {
+                        kind: PhaseKind::Communication,
+                        duration_ms: comm_ms,
+                        sm_util: 10.0,
+                    });
+                }
+            }
+        }
+        StepTimeline {
+            label: format!("{} / {}", model.name, strategy.label()),
+            phases,
+        }
+    }
+
+    /// Model an MoE step (Appendix A.6): token routing inserts two
+    /// all-to-alls per layer, which a single-HCA node (Seren) cannot hide.
+    pub fn moe(model: &ModelConfig, gpus: u32, single_nic: bool) -> Self {
+        let m = model.moe.expect("model must be MoE");
+        let flops = model.train_flops_per_token() * 4_194_304.0; // 4M-token batch
+        let compute_ms = flops / (gpus as f64 * A100_PEAK_FLOPS * MOE_KERNEL_EFFICIENCY) * 1e3;
+        // All-to-all exposure: dominant on one 200 Gb/s HCA shared by 8
+        // GPUs, still visible with four HCAs.
+        let comm_frac = if single_nic { 0.55 } else { 0.25 };
+        let step_ms = compute_ms / (1.0 - comm_frac);
+        let layers = model.layers as usize;
+        let burst_ms = compute_ms / layers as f64;
+        let a2a_ms = step_ms * comm_frac / (2.0 * layers as f64);
+        let mut phases = Vec::new();
+        for _ in 0..layers {
+            phases.push(Phase {
+                kind: PhaseKind::Communication,
+                duration_ms: a2a_ms,
+                sm_util: 4.0,
+            });
+            phases.push(Phase {
+                kind: PhaseKind::Compute,
+                duration_ms: burst_ms,
+                sm_util: 80.0,
+            });
+            phases.push(Phase {
+                kind: PhaseKind::Communication,
+                duration_ms: a2a_ms,
+                sm_util: 4.0,
+            });
+        }
+        StepTimeline {
+            label: format!("{} (top-{} of {} experts)", model.name, m.top_k, m.experts),
+            phases,
+        }
+    }
+
+    /// Human label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The phase sequence.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Step wall time, ms.
+    pub fn step_ms(&self) -> f64 {
+        self.phases.iter().map(|p| p.duration_ms).sum()
+    }
+
+    /// Time-weighted mean SM utilization, percent.
+    pub fn mean_sm_util(&self) -> f64 {
+        let total = self.step_ms();
+        self.phases
+            .iter()
+            .map(|p| p.sm_util * p.duration_ms)
+            .sum::<f64>()
+            / total
+    }
+
+    /// Peak SM utilization, percent.
+    pub fn peak_sm_util(&self) -> f64 {
+        self.phases.iter().map(|p| p.sm_util).fold(0.0, f64::max)
+    }
+
+    /// Fraction of the step with SM utilization below `threshold` percent.
+    pub fn idle_fraction(&self, threshold: f64) -> f64 {
+        let total = self.step_ms();
+        self.phases
+            .iter()
+            .filter(|p| p.sm_util < threshold)
+            .map(|p| p.duration_ms)
+            .sum::<f64>()
+            / total
+    }
+
+    /// Sample `(time_ms, sm_util)` at a fixed interval — the DCGM profile.
+    pub fn samples(&self, interval_ms: f64) -> Vec<(f64, f64)> {
+        assert!(interval_ms > 0.0, "interval must be positive");
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        let step = self.step_ms();
+        while t < step {
+            out.push((t, self.util_at(t)));
+            t += interval_ms;
+        }
+        out
+    }
+
+    fn util_at(&self, t_ms: f64) -> f64 {
+        let mut acc = 0.0;
+        for p in &self.phases {
+            acc += p.duration_ms;
+            if t_ms < acc {
+                return p.sm_util;
+            }
+        }
+        self.phases.last().map_or(0.0, |p| p.sm_util)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v1() -> StepTimeline {
+        StepTimeline::dense(
+            &ModelConfig::dense_123b(),
+            &Strategy::three_d_paper(2048),
+            4 * 1024 * 1024,
+        )
+    }
+
+    fn v2() -> StepTimeline {
+        StepTimeline::dense(
+            &ModelConfig::dense_123b(),
+            &Strategy::hierarchical_paper(2048),
+            4 * 1024 * 1024,
+        )
+    }
+
+    #[test]
+    fn v2_is_about_16_percent_faster() {
+        let speedup = v1().step_ms() / v2().step_ms();
+        // §4.1: "achieving around 16% acceleration".
+        assert!((1.10..1.25).contains(&speedup), "speedup = {speedup:.3}");
+    }
+
+    #[test]
+    fn v2_has_higher_peak_and_less_idle() {
+        let (a, b) = (v1(), v2());
+        assert!(b.peak_sm_util() > a.peak_sm_util());
+        assert!(b.idle_fraction(20.0) < a.idle_fraction(20.0));
+        assert!(b.mean_sm_util() > a.mean_sm_util());
+    }
+
+    #[test]
+    fn v1_has_pipeline_bubbles() {
+        let bubbles: f64 = v1()
+            .phases()
+            .iter()
+            .filter(|p| p.kind == PhaseKind::Bubble)
+            .map(|p| p.duration_ms)
+            .sum();
+        let frac = bubbles / v1().step_ms();
+        // 1F1B with pp=4, m=16: bubble fraction 3/19 ≈ 0.158.
+        assert!((frac - 3.0 / 19.0).abs() < 0.01, "bubble frac {frac:.3}");
+        assert!(v2().phases().iter().all(|p| p.kind != PhaseKind::Bubble));
+    }
+
+    #[test]
+    fn step_time_is_plausible_for_123b_on_2048() {
+        // 4M tokens × 6 × 122B FLOPs ≈ 2.9 EFLOP over 2048 A100s at ~40%
+        // MFU → single-digit seconds per step.
+        let ms = v1().step_ms();
+        assert!((2_000.0..20_000.0).contains(&ms), "step = {ms:.0} ms");
+    }
+
+    #[test]
+    fn samples_cover_step_and_hold_phase_values() {
+        let tl = v1();
+        let s = tl.samples(1.0);
+        assert!(!s.is_empty());
+        assert!(s.len() as f64 >= tl.step_ms() - 1.0);
+        // First sample sits in the warmup bubble.
+        assert_eq!(s[0].1, 2.0);
+        // Utilization values come only from the phase vocabulary.
+        for &(_, u) in &s {
+            assert!([2.0, 8.0, 85.0].contains(&u), "unexpected util {u}");
+        }
+    }
+
+    #[test]
+    fn moe_single_nic_much_lower_utilization() {
+        let moe = StepTimeline::moe(&ModelConfig::moe_mistral_8x7b(), 1024, true);
+        let dense = v2();
+        // Figure 22: MoE SM utilization is far below the dense runs.
+        assert!(moe.mean_sm_util() < 0.6 * dense.mean_sm_util());
+        // More than half the step is exposed all-to-all.
+        assert!(moe.idle_fraction(20.0) > 0.5);
+    }
+
+    #[test]
+    fn moe_multi_nic_recovers_some_utilization() {
+        let single = StepTimeline::moe(&ModelConfig::moe_mistral_8x7b(), 1024, true);
+        let multi = StepTimeline::moe(&ModelConfig::moe_mistral_8x7b(), 1024, false);
+        assert!(multi.mean_sm_util() > single.mean_sm_util() + 10.0);
+    }
+
+    #[test]
+    fn fig19_smaller_fleet_same_shape_slower_step() {
+        let big = v1();
+        let small = StepTimeline::dense(
+            &ModelConfig::dense_123b(),
+            &Strategy::three_d_paper(1024),
+            4 * 1024 * 1024,
+        );
+        // Same utilization structure, roughly double the step time.
+        let ratio = small.step_ms() / big.step_ms();
+        assert!((1.8..2.2).contains(&ratio), "ratio {ratio:.2}");
+        assert!((small.mean_sm_util() - big.mean_sm_util()).abs() < 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "use StepTimeline::moe")]
+    fn dense_constructor_rejects_moe() {
+        StepTimeline::dense(
+            &ModelConfig::moe_mistral_8x7b(),
+            &Strategy::hierarchical_paper(1024),
+            1024 * 1024,
+        );
+    }
+}

@@ -1,0 +1,331 @@
+//! Reference datacenters for the cross-datacenter comparisons.
+//!
+//! Table 2 and Figure 2 compare Acme against three prior traces — Microsoft
+//! Philly (2017), SenseTime Helios (2020), Alibaba PAI (2020). Those traces
+//! are external data we don't ship, so this module provides *shape-faithful*
+//! generators calibrated to the aggregates the paper quotes:
+//!
+//! * average requested GPUs: Philly 1.9, Helios 3.7, PAI 0.7 (PAI allows
+//!   fractional GPUs), Acme 6.3;
+//! * median GPU-job durations such that Acme's 2-minute median is 1.7–7.2×
+//!   shorter, and Philly's *average* is 2.7–3.8× Helios/PAI and 12.8× Acme;
+//! * GPU-utilization CDFs: Acme polarized at 0/100 with medians 97/99,
+//!   Philly broad with median 48, PAI low with median 4 (Helios unavailable).
+
+use acme_sim_core::dist::{Categorical, Distribution, LogNormal};
+use acme_sim_core::SimRng;
+
+/// Static Table-2 facts for one datacenter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatacenterInfo {
+    /// Trace name.
+    pub name: &'static str,
+    /// Collection year.
+    pub year: u32,
+    /// Trace duration, months.
+    pub duration_months: u32,
+    /// Total jobs in the trace (CPU + GPU).
+    pub total_jobs: f64,
+    /// Average requested GPUs per GPU job.
+    pub avg_gpus: f64,
+    /// Total GPUs in the datacenter.
+    pub total_gpus: u32,
+    /// GPU models fielded.
+    pub gpu_models: &'static str,
+}
+
+/// The Table-2 rows.
+pub fn table2() -> [DatacenterInfo; 4] {
+    [
+        DatacenterInfo {
+            name: "Philly",
+            year: 2017,
+            duration_months: 3,
+            total_jobs: 113_000.0,
+            avg_gpus: 1.9,
+            total_gpus: 2_490,
+            gpu_models: "12GB/24GB",
+        },
+        DatacenterInfo {
+            name: "Helios",
+            year: 2020,
+            duration_months: 6,
+            total_jobs: 3_360_000.0,
+            avg_gpus: 3.7,
+            total_gpus: 6_416,
+            gpu_models: "1080Ti/V100",
+        },
+        DatacenterInfo {
+            name: "PAI",
+            year: 2020,
+            duration_months: 2,
+            total_jobs: 1_260_000.0,
+            avg_gpus: 0.7,
+            total_gpus: 6_742,
+            gpu_models: "T4/P100/V100",
+        },
+        DatacenterInfo {
+            name: "Acme",
+            year: 2023,
+            duration_months: 6,
+            total_jobs: 1_090_000.0,
+            avg_gpus: 6.3,
+            total_gpus: 4_704,
+            gpu_models: "A100",
+        },
+    ]
+}
+
+/// A lightweight reference job: duration, (possibly fractional) GPU demand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefJob {
+    /// Runtime, minutes.
+    pub duration_mins: f64,
+    /// Requested GPUs (PAI supports < 1).
+    pub gpus: f64,
+}
+
+/// Shape-faithful generator for one reference datacenter.
+#[derive(Debug, Clone)]
+pub struct RefDatacenter {
+    /// Trace name.
+    pub name: &'static str,
+    duration: LogNormal,
+    demand_buckets: Vec<(f64, f64)>,
+    util_mixture: Vec<(f64, f64, f64)>, // (weight, lo, hi) of uniform pieces
+}
+
+impl RefDatacenter {
+    /// Microsoft Philly (2017): long jobs, broad utilization.
+    pub fn philly() -> Self {
+        RefDatacenter {
+            name: "Philly",
+            duration: LogNormal::from_median_mean(14.4, 448.0),
+            demand_buckets: vec![
+                (1.0, 0.75),
+                (2.0, 0.10),
+                (4.0, 0.08),
+                (8.0, 0.05),
+                (16.0, 0.02),
+            ],
+            util_mixture: vec![(0.25, 0.0, 10.0), (0.45, 10.0, 80.0), (0.30, 80.0, 100.0)],
+        }
+    }
+
+    /// SenseTime Helios (2020). Utilization data is unavailable in the
+    /// paper's Figure 2(b), mirrored here by an empty mixture.
+    pub fn helios() -> Self {
+        RefDatacenter {
+            name: "Helios",
+            duration: LogNormal::from_median_mean(6.0, 166.0),
+            demand_buckets: vec![
+                (1.0, 0.60),
+                (2.0, 0.10),
+                (4.0, 0.10),
+                (8.0, 0.15),
+                (16.0, 0.03),
+                (32.0, 0.02),
+            ],
+            util_mixture: vec![],
+        }
+    }
+
+    /// Alibaba PAI (2020): fractional GPU sharing, very low utilization.
+    pub fn pai() -> Self {
+        RefDatacenter {
+            name: "PAI",
+            duration: LogNormal::from_median_mean(3.4, 118.0),
+            demand_buckets: vec![
+                (0.25, 0.35),
+                (0.5, 0.35),
+                (1.0, 0.22),
+                (2.0, 0.04),
+                (4.0, 0.03),
+                (8.0, 0.01),
+            ],
+            util_mixture: vec![(0.55, 0.0, 5.0), (0.25, 5.0, 25.0), (0.20, 25.0, 100.0)],
+        }
+    }
+
+    /// An Acme-shaped reference (used only for Figure 2's overlay; the full
+    /// Acme generators live in [`crate::generator`]).
+    pub fn acme_cluster(name: &'static str, median_util: f64) -> Self {
+        // Polarized utilization: a slice of idle GPUs, a thin middle, and a
+        // dominant near-100% mode whose width sets the median.
+        let top_lo = median_util - 2.0;
+        RefDatacenter {
+            name,
+            duration: LogNormal::from_median_mean(2.0, 35.0),
+            demand_buckets: vec![
+                (1.0, 0.70),
+                (2.0, 0.12),
+                (4.0, 0.08),
+                (8.0, 0.06),
+                (64.0, 0.04),
+            ],
+            util_mixture: vec![(0.15, 0.0, 5.0), (0.13, 5.0, 90.0), (0.72, top_lo, 100.0)],
+        }
+    }
+
+    /// Sample `n` jobs.
+    pub fn sample_jobs(&self, rng: &mut SimRng, n: usize) -> Vec<RefJob> {
+        let demand = Categorical::new(
+            &self
+                .demand_buckets
+                .iter()
+                .map(|&(_, w)| w)
+                .collect::<Vec<_>>(),
+        );
+        (0..n)
+            .map(|_| RefJob {
+                duration_mins: self.duration.sample(rng),
+                gpus: self.demand_buckets[demand.sample_index(rng)].0,
+            })
+            .collect()
+    }
+
+    /// Sample `n` GPU-utilization readings (percent). Empty when the source
+    /// trace had no utilization data (Helios).
+    pub fn sample_utilization(&self, rng: &mut SimRng, n: usize) -> Vec<f64> {
+        if self.util_mixture.is_empty() {
+            return vec![];
+        }
+        let pick = Categorical::new(
+            &self
+                .util_mixture
+                .iter()
+                .map(|&(w, _, _)| w)
+                .collect::<Vec<_>>(),
+        );
+        (0..n)
+            .map(|_| {
+                let (_, lo, hi) = self.util_mixture[pick.sample_index(rng)];
+                rng.range_f64(lo, hi).clamp(0.0, 100.0)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn median(mut xs: Vec<f64>) -> f64 {
+        xs.sort_by(|a, b| a.total_cmp(b));
+        xs[xs.len() / 2]
+    }
+
+    #[test]
+    fn table2_matches_paper() {
+        let rows = table2();
+        assert_eq!(rows[0].total_gpus, 2490);
+        assert_eq!(rows[3].name, "Acme");
+        assert_eq!(rows[3].total_gpus, 4704);
+        assert_eq!(rows[2].avg_gpus, 0.7);
+        assert_eq!(rows[1].total_jobs, 3_360_000.0);
+    }
+
+    #[test]
+    fn avg_gpus_match_table2() {
+        let mut rng = SimRng::new(1);
+        for (dc, target) in [
+            (RefDatacenter::philly(), 1.9),
+            (RefDatacenter::helios(), 3.7),
+            (RefDatacenter::pai(), 0.7),
+        ] {
+            let jobs = dc.sample_jobs(&mut rng, 100_000);
+            let avg = jobs.iter().map(|j| j.gpus).sum::<f64>() / jobs.len() as f64;
+            assert!(
+                (avg - target).abs() / target < 0.15,
+                "{}: avg {avg:.2} vs {target}",
+                dc.name
+            );
+        }
+    }
+
+    #[test]
+    fn duration_ordering_matches_fig2a() {
+        let mut rng = SimRng::new(2);
+        let mut med = |dc: &RefDatacenter| {
+            median(
+                dc.sample_jobs(&mut rng, 50_000)
+                    .iter()
+                    .map(|j| j.duration_mins)
+                    .collect(),
+            )
+        };
+        let acme = med(&RefDatacenter::acme_cluster("Seren", 97.0));
+        let philly = med(&RefDatacenter::philly());
+        let helios = med(&RefDatacenter::helios());
+        let pai = med(&RefDatacenter::pai());
+        // Acme's median is the shortest; others are 1.7–7.2× longer.
+        for (name, other) in [("philly", philly), ("helios", helios), ("pai", pai)] {
+            let ratio = other / acme;
+            assert!((1.4..9.0).contains(&ratio), "{name}: ratio {ratio:.2}");
+        }
+        // The more recent traces have shorter durations.
+        assert!(philly > helios && helios > pai && pai > acme);
+    }
+
+    #[test]
+    fn average_duration_ratios_match_fig2a() {
+        let mut rng = SimRng::new(3);
+        let mut avg = |dc: &RefDatacenter| {
+            let jobs = dc.sample_jobs(&mut rng, 200_000);
+            jobs.iter().map(|j| j.duration_mins).sum::<f64>() / jobs.len() as f64
+        };
+        let philly = avg(&RefDatacenter::philly());
+        let helios = avg(&RefDatacenter::helios());
+        let pai = avg(&RefDatacenter::pai());
+        let acme = avg(&RefDatacenter::acme_cluster("Seren", 97.0));
+        // Philly's average is 2.7–3.8× Helios/PAI and ~12.8× Acme's.
+        assert!(
+            (2.0..5.0).contains(&(philly / helios)),
+            "{:.2}",
+            philly / helios
+        );
+        assert!((2.5..5.5).contains(&(philly / pai)), "{:.2}", philly / pai);
+        assert!(
+            (9.0..17.0).contains(&(philly / acme)),
+            "{:.2}",
+            philly / acme
+        );
+    }
+
+    #[test]
+    fn utilization_medians_match_fig2b() {
+        let mut rng = SimRng::new(4);
+        let mut med = |dc: &RefDatacenter| median(dc.sample_utilization(&mut rng, 100_000));
+        let seren = med(&RefDatacenter::acme_cluster("Seren", 97.0));
+        let kalos = med(&RefDatacenter::acme_cluster("Kalos", 99.0));
+        let philly = med(&RefDatacenter::philly());
+        let pai = med(&RefDatacenter::pai());
+        assert!((94.0..100.0).contains(&seren), "seren {seren:.1}");
+        assert!((96.0..100.0).contains(&kalos), "kalos {kalos:.1}");
+        assert!((40.0..56.0).contains(&philly), "philly {philly:.1}");
+        assert!((2.0..8.0).contains(&pai), "pai {pai:.1}");
+        // Helios has no utilization data.
+        assert!(RefDatacenter::helios()
+            .sample_utilization(&mut rng, 10)
+            .is_empty());
+    }
+
+    #[test]
+    fn acme_utilization_is_polarized() {
+        let mut rng = SimRng::new(5);
+        let u = RefDatacenter::acme_cluster("Kalos", 99.0).sample_utilization(&mut rng, 50_000);
+        let low = u.iter().filter(|&&x| x < 5.0).count() as f64 / u.len() as f64;
+        let high = u.iter().filter(|&&x| x > 95.0).count() as f64 / u.len() as f64;
+        assert!(low > 0.10, "low mass {low:.2}");
+        assert!(high > 0.60, "high mass {high:.2}");
+        // The middle is thin.
+        assert!(1.0 - low - high < 0.25);
+    }
+
+    #[test]
+    fn pai_supports_fractional_gpus() {
+        let mut rng = SimRng::new(6);
+        let jobs = RefDatacenter::pai().sample_jobs(&mut rng, 10_000);
+        assert!(jobs.iter().any(|j| j.gpus < 1.0));
+    }
+}

@@ -1,0 +1,327 @@
+//! Trace aggregation: the numbers behind Figures 3, 4, 5, 6 and 17.
+
+use std::collections::BTreeMap;
+
+use acme_telemetry::{BoxplotStats, Cdf};
+
+use crate::job::{JobRecord, JobStatus, JobType};
+
+/// Aggregate statistics over a job trace.
+#[derive(Debug)]
+pub struct TraceStats<'a> {
+    jobs: &'a [JobRecord],
+    total_gpu_seconds: f64,
+}
+
+impl<'a> TraceStats<'a> {
+    /// Wrap a trace.
+    ///
+    /// # Panics
+    /// Panics on an empty trace — every consumer needs at least one job.
+    pub fn new(jobs: &'a [JobRecord]) -> Self {
+        assert!(!jobs.is_empty(), "empty trace");
+        let total_gpu_seconds = jobs.iter().map(|j| j.gpu_seconds()).sum();
+        TraceStats {
+            jobs,
+            total_gpu_seconds,
+        }
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Never true (construction rejects empty traces).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Total GPU time in GPU-hours.
+    pub fn total_gpu_hours(&self) -> f64 {
+        self.total_gpu_seconds / 3600.0
+    }
+
+    /// Average requested GPUs per job.
+    pub fn avg_gpus(&self) -> f64 {
+        self.jobs.iter().map(|j| j.gpus as f64).sum::<f64>() / self.jobs.len() as f64
+    }
+
+    /// CDF of job runtimes in minutes (Figure 2a / 6a).
+    pub fn duration_cdf(&self) -> Cdf {
+        Cdf::from_samples(self.jobs.iter().map(|j| j.duration.as_mins_f64()).collect()).unwrap()
+    }
+
+    /// CDF of queue delays in minutes (Figure 6b) — meaningful after the
+    /// scheduler simulation fills `queue_delay` in.
+    pub fn queue_delay_cdf(&self) -> Cdf {
+        Cdf::from_samples(
+            self.jobs
+                .iter()
+                .map(|j| j.queue_delay.as_mins_f64())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    /// Jobs of one type.
+    pub fn of_type(&self, ty: JobType) -> Vec<&JobRecord> {
+        self.jobs.iter().filter(|j| j.job_type == ty).collect()
+    }
+
+    /// `(type, count_share, gpu_time_share)` rows — Figure 4. Types absent
+    /// from the trace are omitted.
+    pub fn type_shares(&self) -> Vec<(JobType, f64, f64)> {
+        let mut counts: BTreeMap<JobType, (usize, f64)> = BTreeMap::new();
+        for j in self.jobs {
+            let e = counts.entry(j.job_type).or_insert((0, 0.0));
+            e.0 += 1;
+            e.1 += j.gpu_seconds();
+        }
+        counts
+            .into_iter()
+            .map(|(ty, (n, t))| {
+                (
+                    ty,
+                    n as f64 / self.jobs.len() as f64,
+                    t / self.total_gpu_seconds,
+                )
+            })
+            .collect()
+    }
+
+    /// `(status, count_share, gpu_time_share)` rows — Figure 17.
+    pub fn status_shares(&self) -> Vec<(JobStatus, f64, f64)> {
+        JobStatus::ALL
+            .iter()
+            .map(|&s| {
+                let n = self.jobs.iter().filter(|j| j.status == s).count();
+                let t: f64 = self
+                    .jobs
+                    .iter()
+                    .filter(|j| j.status == s)
+                    .map(|j| j.gpu_seconds())
+                    .sum();
+                (
+                    s,
+                    n as f64 / self.jobs.len() as f64,
+                    t / self.total_gpu_seconds,
+                )
+            })
+            .collect()
+    }
+
+    /// Per-type GPU-demand box plots — Figure 5.
+    pub fn demand_boxplots(&self) -> Vec<(JobType, BoxplotStats)> {
+        JobType::ALL
+            .iter()
+            .filter_map(|&ty| {
+                let demands: Vec<f64> = self
+                    .jobs
+                    .iter()
+                    .filter(|j| j.job_type == ty)
+                    .map(|j| j.gpus as f64)
+                    .collect();
+                BoxplotStats::from_samples(demands).map(|b| (ty, b))
+            })
+            .collect()
+    }
+
+    /// Figure 3(a): cumulative fraction of *job count* for jobs requesting
+    /// ≤ each power-of-two GPU demand.
+    pub fn demand_count_cdf(&self) -> Vec<(u32, f64)> {
+        self.demand_cdf(|_| 1.0)
+    }
+
+    /// Figure 3(b): cumulative fraction of *GPU time* for jobs requesting
+    /// ≤ each power-of-two GPU demand.
+    pub fn demand_gpu_time_cdf(&self) -> Vec<(u32, f64)> {
+        self.demand_cdf(|j| j.gpu_seconds())
+    }
+
+    fn demand_cdf(&self, weight: impl Fn(&JobRecord) -> f64) -> Vec<(u32, f64)> {
+        let thresholds: Vec<u32> = (0..=12).map(|k| 1u32 << k).collect(); // 1..4096
+        let total: f64 = self.jobs.iter().map(&weight).sum();
+        thresholds
+            .into_iter()
+            .map(|t| {
+                let w: f64 = self.jobs.iter().filter(|j| j.gpus <= t).map(&weight).sum();
+                (t, w / total)
+            })
+            .collect()
+    }
+
+    /// Per-type duration CDFs in minutes — Figure 6(a/c).
+    pub fn duration_cdf_by_type(&self) -> Vec<(JobType, Cdf)> {
+        self.per_type_cdf(|j| j.duration.as_mins_f64())
+    }
+
+    /// Per-type queue-delay CDFs in minutes — Figure 6(b/d).
+    pub fn queue_delay_cdf_by_type(&self) -> Vec<(JobType, Cdf)> {
+        self.per_type_cdf(|j| j.queue_delay.as_mins_f64())
+    }
+
+    fn per_type_cdf(&self, f: impl Fn(&JobRecord) -> f64) -> Vec<(JobType, Cdf)> {
+        JobType::ALL
+            .iter()
+            .filter_map(|&ty| {
+                let xs: Vec<f64> = self
+                    .jobs
+                    .iter()
+                    .filter(|j| j.job_type == ty)
+                    .map(&f)
+                    .collect();
+                Cdf::from_samples(xs).map(|c| (ty, c))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::WorkloadGenerator;
+    use crate::job::Cluster;
+    use acme_sim_core::{SimDuration, SimRng, SimTime};
+
+    fn mk(id: u64, ty: JobType, gpus: u32, mins: u64, status: JobStatus) -> JobRecord {
+        JobRecord {
+            id,
+            cluster: Cluster::Kalos,
+            job_type: ty,
+            submit: SimTime::from_secs(id),
+            queue_delay: SimDuration::from_mins(id % 5),
+            duration: SimDuration::from_mins(mins),
+            gpus,
+            status,
+        }
+    }
+
+    fn tiny_trace() -> Vec<JobRecord> {
+        vec![
+            mk(0, JobType::Evaluation, 1, 2, JobStatus::Completed),
+            mk(1, JobType::Evaluation, 1, 4, JobStatus::Failed),
+            mk(2, JobType::Pretrain, 512, 60, JobStatus::Canceled),
+            mk(3, JobType::Debug, 8, 10, JobStatus::Completed),
+        ]
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_trace_panics() {
+        TraceStats::new(&[]);
+    }
+
+    #[test]
+    fn totals() {
+        let jobs = tiny_trace();
+        let s = TraceStats::new(&jobs);
+        assert_eq!(s.len(), 4);
+        // 1*2 + 1*4 + 512*60 + 8*10 = 30806 GPU-min.
+        assert!((s.total_gpu_hours() - 30806.0 / 60.0).abs() < 1e-9);
+        assert_eq!(s.avg_gpus(), (1.0 + 1.0 + 512.0 + 8.0) / 4.0);
+    }
+
+    #[test]
+    fn type_shares_sum_to_one() {
+        let jobs = tiny_trace();
+        let s = TraceStats::new(&jobs);
+        let shares = s.type_shares();
+        let count: f64 = shares.iter().map(|&(_, c, _)| c).sum();
+        let time: f64 = shares.iter().map(|&(_, _, t)| t).sum();
+        assert!((count - 1.0).abs() < 1e-12);
+        assert!((time - 1.0).abs() < 1e-12);
+        // Pretrain dominates GPU time here.
+        let pre = shares
+            .iter()
+            .find(|&&(ty, _, _)| ty == JobType::Pretrain)
+            .unwrap();
+        assert!(pre.2 > 0.95);
+    }
+
+    #[test]
+    fn status_shares_cover_all() {
+        let jobs = tiny_trace();
+        let s = TraceStats::new(&jobs);
+        let shares = s.status_shares();
+        assert_eq!(shares.len(), 3);
+        let count: f64 = shares.iter().map(|&(_, c, _)| c).sum();
+        assert!((count - 1.0).abs() < 1e-12);
+        let canceled = shares
+            .iter()
+            .find(|&&(st, _, _)| st == JobStatus::Canceled)
+            .unwrap();
+        assert!(
+            canceled.2 > 0.9,
+            "the big canceled pretrain owns the GPU time"
+        );
+    }
+
+    #[test]
+    fn demand_cdfs_monotone_and_terminate_at_one() {
+        let mut rng = SimRng::new(9);
+        let w = WorkloadGenerator::kalos().generate(&mut rng, 30.0, 0);
+        let s = TraceStats::new(&w.jobs);
+        for cdf in [s.demand_count_cdf(), s.demand_gpu_time_cdf()] {
+            for w in cdf.windows(2) {
+                assert!(w[1].1 >= w[0].1 - 1e-12);
+            }
+            assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
+        }
+        // Figure 3's divergence: at ≤8 GPUs most of the *count* but almost
+        // none of the *GPU time* is covered.
+        let count_at_8 = s
+            .demand_count_cdf()
+            .iter()
+            .find(|&&(g, _)| g == 8)
+            .unwrap()
+            .1;
+        let time_at_8 = s
+            .demand_gpu_time_cdf()
+            .iter()
+            .find(|&&(g, _)| g == 8)
+            .unwrap()
+            .1;
+        assert!(count_at_8 > 0.9);
+        assert!(time_at_8 < 0.05);
+    }
+
+    #[test]
+    fn boxplots_reflect_demand_ordering() {
+        let mut rng = SimRng::new(10);
+        let w = WorkloadGenerator::kalos().generate(&mut rng, 30.0, 0);
+        let s = TraceStats::new(&w.jobs);
+        let boxes = s.demand_boxplots();
+        let get = |ty: JobType| {
+            boxes
+                .iter()
+                .find(|&&(t, _)| t == ty)
+                .map(|&(_, b)| b)
+                .unwrap()
+        };
+        // Figure 5: pretrain demands ≫ evaluation demands.
+        assert!(get(JobType::Pretrain).median >= 256.0);
+        assert!(get(JobType::Evaluation).median <= 4.0);
+        // Debug spans a wide range.
+        assert!(get(JobType::Debug).iqr() > 4.0);
+    }
+
+    #[test]
+    fn per_type_cdfs_skip_absent_types() {
+        let jobs = tiny_trace();
+        let s = TraceStats::new(&jobs);
+        let durs = s.duration_cdf_by_type();
+        assert!(durs.iter().all(|(ty, _)| *ty != JobType::Sft));
+        assert_eq!(durs.len(), 3);
+        let delays = s.queue_delay_cdf_by_type();
+        assert_eq!(delays.len(), 3);
+    }
+
+    #[test]
+    fn duration_cdf_median() {
+        let jobs = tiny_trace();
+        let s = TraceStats::new(&jobs);
+        let c = s.duration_cdf();
+        assert!((c.median() - 7.0).abs() < 1e-9); // between 4 and 10
+    }
+}

@@ -1,0 +1,222 @@
+//! Trace export/import in an AcmeTrace-style CSV schema.
+//!
+//! The paper releases its traces publicly; this module gives the synthetic
+//! stand-in the same property. The schema mirrors the released job log:
+//! one row per job with submission/queue/runtime, demand, type and final
+//! status. Export and import round-trip exactly (microsecond-precision
+//! times), so downstream users can persist a generated six-month trace and
+//! reload it without touching the generator.
+
+use acme_sim_core::{SimDuration, SimTime};
+
+use crate::job::{Cluster, JobRecord, JobStatus, JobType};
+
+/// The CSV header line.
+pub const HEADER: &str = "job_id,cluster,job_type,submit_us,queue_delay_us,duration_us,gpus,status";
+
+/// Errors from parsing a trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The header line is missing or wrong.
+    BadHeader,
+    /// A row has the wrong number of fields.
+    BadFieldCount {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A field failed to parse.
+    BadField {
+        /// 1-based line number.
+        line: usize,
+        /// Column name.
+        column: &'static str,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadHeader => write!(f, "missing or malformed header"),
+            ParseError::BadFieldCount { line } => write!(f, "line {line}: wrong field count"),
+            ParseError::BadField { line, column } => {
+                write!(f, "line {line}: bad value in column `{column}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn type_tag(ty: JobType) -> &'static str {
+    ty.label()
+}
+
+fn parse_type(s: &str) -> Option<JobType> {
+    JobType::ALL.iter().copied().find(|t| t.label() == s)
+}
+
+fn status_tag(s: JobStatus) -> &'static str {
+    s.label()
+}
+
+fn parse_status(s: &str) -> Option<JobStatus> {
+    JobStatus::ALL.iter().copied().find(|t| t.label() == s)
+}
+
+fn cluster_tag(c: Cluster) -> &'static str {
+    c.label()
+}
+
+fn parse_cluster(s: &str) -> Option<Cluster> {
+    match s {
+        "Seren" => Some(Cluster::Seren),
+        "Kalos" => Some(Cluster::Kalos),
+        _ => None,
+    }
+}
+
+/// Serialize a trace to CSV (header + one row per job).
+pub fn to_csv(jobs: &[JobRecord]) -> String {
+    let mut out = String::with_capacity(64 * (jobs.len() + 1));
+    out.push_str(HEADER);
+    out.push('\n');
+    for j in jobs {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{}\n",
+            j.id,
+            cluster_tag(j.cluster),
+            type_tag(j.job_type),
+            j.submit.as_micros(),
+            j.queue_delay.as_micros(),
+            j.duration.as_micros(),
+            j.gpus,
+            status_tag(j.status),
+        ));
+    }
+    out
+}
+
+/// Parse a CSV trace produced by [`to_csv`] (or hand-authored in the same
+/// schema). Blank lines are ignored.
+pub fn from_csv(text: &str) -> Result<Vec<JobRecord>, ParseError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == HEADER => {}
+        _ => return Err(ParseError::BadHeader),
+    }
+    let mut jobs = Vec::new();
+    for (idx, raw) in lines {
+        let line = idx + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = raw.split(',').collect();
+        if fields.len() != 8 {
+            return Err(ParseError::BadFieldCount { line });
+        }
+        let field = |column: &'static str| ParseError::BadField { line, column };
+        jobs.push(JobRecord {
+            id: fields[0].parse().map_err(|_| field("job_id"))?,
+            cluster: parse_cluster(fields[1]).ok_or_else(|| field("cluster"))?,
+            job_type: parse_type(fields[2]).ok_or_else(|| field("job_type"))?,
+            submit: SimTime::from_micros(fields[3].parse().map_err(|_| field("submit_us"))?),
+            queue_delay: SimDuration::from_micros(
+                fields[4].parse().map_err(|_| field("queue_delay_us"))?,
+            ),
+            duration: SimDuration::from_micros(
+                fields[5].parse().map_err(|_| field("duration_us"))?,
+            ),
+            gpus: fields[6].parse().map_err(|_| field("gpus"))?,
+            status: parse_status(fields[7]).ok_or_else(|| field("status"))?,
+        });
+    }
+    Ok(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::WorkloadGenerator;
+    use acme_sim_core::SimRng;
+
+    fn sample() -> Vec<JobRecord> {
+        let mut rng = SimRng::new(1);
+        WorkloadGenerator::kalos().generate(&mut rng, 5.0, 0).jobs
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let jobs = sample();
+        let csv = to_csv(&jobs);
+        let back = from_csv(&csv).unwrap();
+        assert_eq!(jobs, back);
+    }
+
+    #[test]
+    fn header_is_first_line() {
+        let csv = to_csv(&sample());
+        assert!(csv.starts_with(HEADER));
+        assert_eq!(csv.lines().count(), sample().len() + 1);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert_eq!(
+            from_csv("1,Kalos,evaluation,0,0,5,1,completed"),
+            Err(ParseError::BadHeader)
+        );
+        assert_eq!(from_csv(""), Err(ParseError::BadHeader));
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        let bad_count = format!("{HEADER}\n1,Kalos,evaluation,0,0,5,1\n");
+        assert_eq!(
+            from_csv(&bad_count),
+            Err(ParseError::BadFieldCount { line: 2 })
+        );
+        let bad_type = format!("{HEADER}\n1,Kalos,unknown,0,0,5,1,completed\n");
+        assert_eq!(
+            from_csv(&bad_type),
+            Err(ParseError::BadField {
+                line: 2,
+                column: "job_type"
+            })
+        );
+        let bad_num = format!("{HEADER}\n1,Kalos,evaluation,x,0,5,1,completed\n");
+        assert_eq!(
+            from_csv(&bad_num),
+            Err(ParseError::BadField {
+                line: 2,
+                column: "submit_us"
+            })
+        );
+        let bad_cluster = format!("{HEADER}\n1,Philly,evaluation,0,0,5,1,completed\n");
+        assert_eq!(
+            from_csv(&bad_cluster),
+            Err(ParseError::BadField {
+                line: 2,
+                column: "cluster"
+            })
+        );
+    }
+
+    #[test]
+    fn blank_lines_ignored() {
+        let jobs = sample();
+        let mut csv = to_csv(&jobs);
+        csv.push('\n');
+        csv.push('\n');
+        assert_eq!(from_csv(&csv).unwrap(), jobs);
+    }
+
+    #[test]
+    fn errors_display_usefully() {
+        let e = ParseError::BadField {
+            line: 7,
+            column: "gpus",
+        };
+        assert!(e.to_string().contains("line 7"));
+        assert!(e.to_string().contains("gpus"));
+    }
+}

@@ -1,0 +1,84 @@
+//! The failure-diagnosis pipeline, stage by stage (§6.1.2, Figure 15).
+//!
+//! Generates a realistic failure log (noise + cascading secondary errors),
+//! walks it through log compression, rule matching and the vector-store
+//! Failure Agent, and shows the continuous-learning loop: agent diagnoses
+//! become rules, so the second identical failure is resolved instantly.
+//!
+//! ```text
+//! cargo run -p acme --example failure_diagnosis
+//! ```
+
+use acme_failure::{
+    DiagnosisPipeline, DiagnosisSource, FailureReason, LogAgent, LogBundle, LogCompressor,
+};
+use acme_sim_core::SimRng;
+
+fn main() {
+    let mut rng = SimRng::new(42);
+
+    // Stage 0: a pretraining job dies with an NVLink fault. Its log is
+    // mostly metric chatter, and the error block is a cascade.
+    let bundle = LogBundle::generate(FailureReason::NvLinkError, 2_000, &mut rng);
+    println!(
+        "raw log: {} lines, {:.0} KB; ground truth: {}",
+        bundle.lines.len(),
+        bundle.byte_len() as f64 / 1024.0,
+        bundle.root_cause.label()
+    );
+
+    // Stage 1: the Log Agent mines filter rules; the compressor strips noise.
+    let mut compressor = LogCompressor::new();
+    let learned = LogAgent::default().learn_into(&mut compressor, &bundle.lines);
+    let kept = compressor.compress(&bundle.lines);
+    println!(
+        "log compression: {} filter rules learned, {} lines survive ({:.2}% of bytes):",
+        learned,
+        kept.len(),
+        compressor.compression_ratio(&bundle.lines) * 100.0
+    );
+    for line in kept.iter().take(8) {
+        println!("  | {line}");
+    }
+
+    // Stage 2: diagnosis — note the cascade: the log contains NCCL timeout
+    // AND CUDA errors, but precedence rules recover the true root cause.
+    let mut pipeline = DiagnosisPipeline::with_all_rules();
+    let report = pipeline.diagnose(&bundle.lines).expect("diagnosable");
+    println!(
+        "\ndiagnosis: {} (source: {:?}, infrastructure: {})",
+        report.reason.label(),
+        report.source,
+        report.infrastructure
+    );
+    println!("mitigation: {}", report.mitigation);
+
+    // Stage 3: the learning loop. Start a pipeline that has NO rule for
+    // KeyError; the agent classifies the first one and writes the rule.
+    println!("\n-- continuous learning --");
+    let infra_only: Vec<FailureReason> = FailureReason::ALL
+        .iter()
+        .copied()
+        .filter(|r| r.is_infrastructure())
+        .collect();
+    let mut young = DiagnosisPipeline::new(&infra_only);
+    println!("young pipeline starts with {} rules", young.rule_count());
+    for round in 1..=2 {
+        let b = LogBundle::generate(FailureReason::KeyError, 300, &mut rng);
+        let r = young.diagnose(&b.lines).expect("diagnosable");
+        println!(
+            "  KeyError #{round}: resolved by {:?} (rules now: {})",
+            r.source,
+            young.rule_count()
+        );
+        if round == 1 {
+            assert_eq!(r.source, DiagnosisSource::Agent);
+        } else {
+            assert_eq!(r.source, DiagnosisSource::Rule);
+        }
+    }
+    println!(
+        "\nafter the run: {} diagnoses by rule, {} by agent, {} escalated",
+        young.stats.by_rule, young.stats.by_agent, young.stats.escalated
+    );
+}
