@@ -5,7 +5,8 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 use acme_sim_core::dist::{Categorical, Distribution, LogNormal};
-use acme_sim_core::{EventQueue, SimRng, SimTime};
+use acme_sim_core::{EventQueue, SimDuration, SimRng, SimTime};
+use acme_telemetry::Cdf;
 use acme_workload::WorkloadGenerator;
 
 fn bench_event_queue(c: &mut Criterion) {
@@ -24,6 +25,71 @@ fn bench_event_queue(c: &mut Criterion) {
             },
             BatchSize::SmallInput,
         );
+    });
+
+    // The steady-state shape every simulation loop hits: a bounded pending
+    // set with relative timers, drained through the deadline-checked pop.
+    // Exercises `with_capacity`, `schedule_in`, and the single-probe
+    // `pop_before` fast paths together.
+    c.bench_function("event_queue/throughput_steady_state_10k", |b| {
+        let mut rng = SimRng::new(5);
+        let delays: Vec<u64> = (0..10_000).map(|_| 1 + rng.below(10_000)).collect();
+        b.iter_batched(
+            || {
+                let mut q = EventQueue::with_capacity(64);
+                for (i, &d) in delays.iter().take(64).enumerate() {
+                    q.schedule_in(SimDuration::from_micros(d), i);
+                }
+                q
+            },
+            |mut q| {
+                let mut next = 64usize;
+                let deadline = SimTime::from_secs(1_000_000);
+                while let Some((_, i)) = q.pop_before(deadline) {
+                    black_box(i);
+                    if next < delays.len() {
+                        q.schedule_in(SimDuration::from_micros(delays[next]), next);
+                        next += 1;
+                    }
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_cdf(c: &mut Criterion) {
+    let mut rng = SimRng::new(6);
+    let d = LogNormal::from_median_mean(2.0, 35.0);
+    let samples: Vec<f64> = (0..10_000).map(|_| d.sample(&mut rng)).collect();
+
+    c.bench_function("cdf/from_samples_10k", |b| {
+        b.iter_batched(
+            || samples.clone(),
+            |xs| black_box(Cdf::from_samples(xs)),
+            BatchSize::SmallInput,
+        );
+    });
+
+    let mut sorted = samples.clone();
+    sorted.sort_unstable_by(f64::total_cmp);
+    c.bench_function("cdf/from_sorted_10k", |b| {
+        b.iter_batched(
+            || sorted.clone(),
+            |xs| black_box(Cdf::from_sorted(xs)),
+            BatchSize::SmallInput,
+        );
+    });
+
+    let cdf = Cdf::from_samples(samples.clone()).expect("non-empty samples");
+    c.bench_function("cdf/quantile_sweep_x100", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..100 {
+                acc += cdf.quantile(i as f64 / 99.0);
+            }
+            black_box(acc)
+        });
     });
 }
 
@@ -92,6 +158,7 @@ fn bench_workload_generation(c: &mut Criterion) {
 criterion_group!(
     kernel,
     bench_event_queue,
+    bench_cdf,
     bench_rng,
     bench_workload_generation
 );

@@ -1,0 +1,37 @@
+//! End-to-end harness benchmark: the full `repro all` experiment sweep,
+//! sequential and parallel, through the exact code path the binary uses.
+//! This is the number `BENCH_repro_all.json` tracks across the project's
+//! history — a regression here is a regression in `repro all` itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use acme::experiments::{default_jobs, run_selection, select};
+use acme_bench::render_report;
+
+fn bench_repro_all(c: &mut Criterion) {
+    let selection = select(&["all".to_string()]).expect("`all` always resolves");
+
+    let mut group = c.benchmark_group("repro_all");
+    group.sample_size(10);
+
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let runs = run_selection(&selection, 42, 1);
+            black_box(render_report(42, &runs).len())
+        });
+    });
+
+    group.bench_function("parallel_all_cores", |b| {
+        let jobs = default_jobs().min(selection.len());
+        b.iter(|| {
+            let runs = run_selection(&selection, 42, jobs);
+            black_box(render_report(42, &runs).len())
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(repro_all, bench_repro_all);
+criterion_main!(repro_all);

@@ -1,53 +1,68 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro --list            # show every experiment id
-//! repro all               # run everything (the EXPERIMENTS.md source)
-//! repro fig10 table3      # run a selection
-//! repro fig6 --seed 7     # override the seed
+//! repro --list                     # show every experiment id
+//! repro all                        # run everything (the EXPERIMENTS.md source)
+//! repro all --jobs 8               # same bytes, computed on 8 workers
+//! repro fig10 table3               # run a selection
+//! repro fig6 --seed 7              # override the seed
+//! repro all --timings-json t.json  # machine-readable timing dump
 //! ```
+//!
+//! The report goes to stdout and is byte-identical for every `--jobs`
+//! value; the per-experiment wall-time table goes to stderr so it never
+//! perturbs golden-output diffs.
 
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn main() -> ExitCode {
-    let (ids, seed, list_only) = match acme_bench::parse_args(std::env::args().skip(1)) {
+    let args = match acme_bench::parse_args(std::env::args().skip(1)) {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: repro [--list] [--seed N] [all | <id>...]");
+            eprintln!(
+                "usage: repro [--list] [--seed N] [--jobs N] [--timings-json PATH] [all | <id>...]"
+            );
             return ExitCode::FAILURE;
         }
     };
 
-    let registry = acme::experiments::all();
-    if list_only || ids.is_empty() {
+    if args.list_only || args.ids.is_empty() {
         println!("available experiments (run with `repro all` or `repro <id>...`):");
-        for e in &registry {
+        for e in &acme::experiments::all() {
             println!("  {:<8} {}", e.id, e.title);
         }
         return ExitCode::SUCCESS;
     }
 
-    let selected: Vec<String> = if ids.iter().any(|i| i == "all") {
-        registry.iter().map(|e| e.id.to_string()).collect()
-    } else {
-        ids
+    let selection = match acme::experiments::select(&args.ids) {
+        Ok(selection) => selection,
+        Err(unknown) => {
+            for id in unknown {
+                eprintln!("error: unknown experiment id `{id}` (try --list)");
+            }
+            return ExitCode::FAILURE;
+        }
     };
 
-    println!("# Acme reproduction — seed {seed}\n");
-    let mut failed = false;
-    for id in &selected {
-        match acme::experiments::run(id, seed) {
-            Some(output) => println!("{output}"),
-            None => {
-                eprintln!("error: unknown experiment id `{id}` (try --list)");
-                failed = true;
-            }
+    let jobs = args
+        .jobs
+        .unwrap_or_else(acme::experiments::default_jobs)
+        .min(selection.len().max(1));
+    let started = Instant::now();
+    let runs = acme::experiments::run_selection(&selection, args.seed, jobs);
+    let elapsed = started.elapsed();
+
+    print!("{}", acme_bench::render_report(args.seed, &runs));
+    eprint!("{}", acme_bench::render_timings(&runs, jobs, elapsed));
+
+    if let Some(path) = &args.timings_json {
+        let json = acme_bench::render_timings_json(args.seed, &runs, jobs, elapsed);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
         }
     }
-    if failed {
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
-    }
+    ExitCode::SUCCESS
 }

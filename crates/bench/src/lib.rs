@@ -4,71 +4,201 @@
 //!
 //!   ```text
 //!   cargo run -p acme-bench --bin repro -- all
+//!   cargo run -p acme-bench --bin repro -- all --jobs 8
 //!   cargo run -p acme-bench --bin repro -- fig10 table3 --seed 7
+//!   cargo run -p acme-bench --bin repro -- all --timings-json timings.json
 //!   cargo run -p acme-bench --bin repro -- --list
 //!   ```
 //!
+//!   Experiments run across `--jobs` worker threads (default: all cores).
+//!   stdout is **byte-identical for every jobs value** — results are
+//!   buffered and emitted in selection order — so the parallel run is safe
+//!   to diff against golden output. The per-experiment wall-time report
+//!   goes to stderr, and `--timings-json PATH` writes a machine-readable
+//!   dump for the bench trajectory (`BENCH_repro_all.json`).
+//!
 //! * `cargo bench -p acme-bench` runs the Criterion suites:
-//!   `kernel` (event queue, RNG, distributions, trace generation) and
+//!   `kernel` (event queue, RNG, distributions, trace generation),
 //!   `systems` (scheduler, diagnosis pipeline, evaluation coordinator,
-//!   checkpoint model, step timelines).
+//!   checkpoint model, step timelines) and `repro_all` (the end-to-end
+//!   harness itself, sequential vs parallel).
 
 #![warn(missing_docs)]
+
+use acme::experiments::ExperimentRun;
 
 /// Default seed used by the harness when none is given.
 pub const DEFAULT_SEED: u64 = 42;
 
-/// Parse harness arguments: experiment ids plus an optional `--seed N`.
-/// Returns `(ids, seed, list_only)`.
-pub fn parse_args<I: IntoIterator<Item = String>>(
-    args: I,
-) -> Result<(Vec<String>, u64, bool), String> {
-    let mut ids = Vec::new();
-    let mut seed = DEFAULT_SEED;
-    let mut list_only = false;
+/// Parsed `repro` command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HarnessArgs {
+    /// Experiment ids to run (possibly containing `all`).
+    pub ids: Vec<String>,
+    /// Seed shared by every experiment.
+    pub seed: u64,
+    /// Just list the registry and exit.
+    pub list_only: bool,
+    /// Worker threads; `None` means one per available core.
+    pub jobs: Option<usize>,
+    /// Write a machine-readable timing dump to this path.
+    pub timings_json: Option<String>,
+}
+
+/// Parse harness arguments: experiment ids plus `--seed N`, `--jobs N`,
+/// `--timings-json PATH`, and `--list`.
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<HarnessArgs, String> {
+    let mut parsed = HarnessArgs {
+        ids: Vec::new(),
+        seed: DEFAULT_SEED,
+        list_only: false,
+        jobs: None,
+        timings_json: None,
+    };
     let mut iter = args.into_iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
             "--seed" => {
                 let v = iter.next().ok_or("--seed needs a value")?;
-                seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
+                parsed.seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
             }
-            "--list" => list_only = true,
+            "--jobs" => {
+                let v = iter.next().ok_or("--jobs needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad job count: {v}"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+                parsed.jobs = Some(n);
+            }
+            "--timings-json" => {
+                let v = iter.next().ok_or("--timings-json needs a path")?;
+                parsed.timings_json = Some(v);
+            }
+            "--list" => parsed.list_only = true,
             _ if a.starts_with("--") => return Err(format!("unknown flag: {a}")),
-            _ => ids.push(a),
+            _ => parsed.ids.push(a),
         }
     }
-    Ok((ids, seed, list_only))
+    Ok(parsed)
+}
+
+/// The exact stdout of a harness run: the seed header followed by every
+/// experiment's report, in selection order. Shared by the `repro` binary
+/// and the determinism tests so what is tested is what ships.
+pub fn render_report(seed: u64, runs: &[ExperimentRun]) -> String {
+    let mut out =
+        String::with_capacity(64 + runs.iter().map(|r| r.output.len() + 1).sum::<usize>());
+    out.push_str(&format!("# Acme reproduction — seed {seed}\n\n"));
+    for run in runs {
+        out.push_str(&run.output);
+        out.push('\n');
+    }
+    out
+}
+
+/// The stderr wall-time report: one line per experiment (slowest first),
+/// then totals. `jobs` is the worker count actually used.
+pub fn render_timings(runs: &[ExperimentRun], jobs: usize, elapsed: std::time::Duration) -> String {
+    let mut by_cost: Vec<&ExperimentRun> = runs.iter().collect();
+    by_cost.sort_by(|a, b| b.wall.cmp(&a.wall).then(a.id.cmp(b.id)));
+    let cpu_total: std::time::Duration = runs.iter().map(|r| r.wall).sum();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# timings — {} experiment(s), {jobs} worker(s)\n",
+        runs.len()
+    ));
+    for run in by_cost {
+        out.push_str(&format!(
+            "  {:<8} {:>9.3} ms  {}\n",
+            run.id,
+            run.wall.as_secs_f64() * 1e3,
+            run.title
+        ));
+    }
+    out.push_str(&format!(
+        "  total experiment cpu {:>9.3} ms, wall {:>9.3} ms\n",
+        cpu_total.as_secs_f64() * 1e3,
+        elapsed.as_secs_f64() * 1e3
+    ));
+    out
+}
+
+/// Machine-readable timing dump (hand-rolled JSON; no serde in-tree).
+/// Schema: `{seed, jobs, wall_ms, experiments: [{id, ms}, ...]}` with
+/// experiments in selection order.
+pub fn render_timings_json(
+    seed: u64,
+    runs: &[ExperimentRun],
+    jobs: usize,
+    elapsed: std::time::Duration,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"jobs\": {jobs},\n"));
+    out.push_str(&format!(
+        "  \"wall_ms\": {:.3},\n",
+        elapsed.as_secs_f64() * 1e3
+    ));
+    out.push_str("  \"experiments\": [\n");
+    for (i, run) in runs.iter().enumerate() {
+        let comma = if i + 1 == runs.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"ms\": {:.3}}}{comma}\n",
+            run.id,
+            run.wall.as_secs_f64() * 1e3
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     fn v(xs: &[&str]) -> Vec<String> {
         xs.iter().map(|s| s.to_string()).collect()
     }
 
+    fn fake_run(id: &'static str, ms: u64) -> ExperimentRun {
+        ExperimentRun {
+            id,
+            title: "t",
+            output: format!("### {id} — t\nrow"),
+            wall: Duration::from_millis(ms),
+        }
+    }
+
     #[test]
     fn parses_ids_and_seed() {
-        let (ids, seed, list) = parse_args(v(&["fig10", "table3", "--seed", "7"])).unwrap();
-        assert_eq!(ids, vec!["fig10", "table3"]);
-        assert_eq!(seed, 7);
-        assert!(!list);
+        let p = parse_args(v(&["fig10", "table3", "--seed", "7"])).unwrap();
+        assert_eq!(p.ids, vec!["fig10", "table3"]);
+        assert_eq!(p.seed, 7);
+        assert!(!p.list_only);
+        assert_eq!(p.jobs, None);
+        assert_eq!(p.timings_json, None);
     }
 
     #[test]
     fn defaults() {
-        let (ids, seed, list) = parse_args(v(&[])).unwrap();
-        assert!(ids.is_empty());
-        assert_eq!(seed, DEFAULT_SEED);
-        assert!(!list);
+        let p = parse_args(v(&[])).unwrap();
+        assert!(p.ids.is_empty());
+        assert_eq!(p.seed, DEFAULT_SEED);
+        assert!(!p.list_only);
     }
 
     #[test]
     fn list_flag() {
-        let (_, _, list) = parse_args(v(&["--list"])).unwrap();
-        assert!(list);
+        assert!(parse_args(v(&["--list"])).unwrap().list_only);
+    }
+
+    #[test]
+    fn jobs_and_timings_json() {
+        let p = parse_args(v(&["all", "--jobs", "4", "--timings-json", "t.json"])).unwrap();
+        assert_eq!(p.jobs, Some(4));
+        assert_eq!(p.timings_json.as_deref(), Some("t.json"));
     }
 
     #[test]
@@ -76,5 +206,43 @@ mod tests {
         assert!(parse_args(v(&["--seed"])).is_err());
         assert!(parse_args(v(&["--seed", "x"])).is_err());
         assert!(parse_args(v(&["--bogus"])).is_err());
+        assert!(parse_args(v(&["--jobs"])).is_err());
+        assert!(parse_args(v(&["--jobs", "x"])).is_err());
+        assert!(parse_args(v(&["--jobs", "0"])).is_err());
+        assert!(parse_args(v(&["--timings-json"])).is_err());
+    }
+
+    #[test]
+    fn report_has_header_and_selection_order() {
+        let runs = [fake_run("b", 1), fake_run("a", 2)];
+        let report = render_report(9, &runs);
+        assert!(report.starts_with("# Acme reproduction — seed 9\n\n"));
+        let b_pos = report.find("### b").unwrap();
+        let a_pos = report.find("### a").unwrap();
+        assert!(b_pos < a_pos, "report must keep selection order");
+    }
+
+    #[test]
+    fn timings_sorted_slowest_first() {
+        let runs = [fake_run("fast", 1), fake_run("slow", 50)];
+        let t = render_timings(&runs, 2, Duration::from_millis(51));
+        let slow_pos = t.find("slow").unwrap();
+        let fast_pos = t.find("fast").unwrap();
+        assert!(slow_pos < fast_pos);
+        assert!(t.contains("2 worker(s)"));
+    }
+
+    #[test]
+    fn timings_json_shape() {
+        let runs = [fake_run("x", 3), fake_run("y", 4)];
+        let j = render_timings_json(42, &runs, 8, Duration::from_millis(7));
+        assert!(j.contains("\"seed\": 42"));
+        assert!(j.contains("\"jobs\": 8"));
+        assert!(j.contains("{\"id\": \"x\", \"ms\": 3.000},"));
+        assert!(j.contains("{\"id\": \"y\", \"ms\": 4.000}\n"));
+        // Crude but effective: balanced braces/brackets, trailing newline.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert!(j.ends_with("}\n"));
     }
 }

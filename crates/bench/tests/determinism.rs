@@ -1,0 +1,56 @@
+//! The tentpole invariant of the parallel harness: `repro all --jobs N`
+//! produces **byte-identical stdout** to the sequential run, for every
+//! seed. These tests exercise the exact code path the binary uses
+//! (`select` → `run_selection` → `render_report`), so a pass here is a
+//! pass for the shipped tool.
+
+use acme::experiments::{run_selection, select};
+use acme_bench::render_report;
+
+fn full_report(seed: u64, jobs: usize) -> String {
+    let selection = select(&["all".to_string()]).expect("`all` always resolves");
+    let runs = run_selection(&selection, seed, jobs);
+    render_report(seed, &runs)
+}
+
+#[test]
+fn parallel_report_is_byte_identical_seed_42() {
+    let sequential = full_report(42, 1);
+    let parallel = full_report(42, 4);
+    assert!(
+        sequential == parallel,
+        "jobs=4 diverged from jobs=1 at seed 42"
+    );
+}
+
+#[test]
+fn parallel_report_is_byte_identical_seed_7() {
+    let sequential = full_report(7, 1);
+    let parallel = full_report(7, 4);
+    assert!(
+        sequential == parallel,
+        "jobs=4 diverged from jobs=1 at seed 7"
+    );
+}
+
+#[test]
+fn oversubscribed_workers_are_harmless() {
+    // More workers than experiments in the subset: jobs is clamped and the
+    // report is still identical.
+    let ids: Vec<String> = ["fig6", "table3", "ckpt"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let selection = select(&ids).unwrap();
+    let sequential = render_report(42, &run_selection(&selection, 42, 1));
+    let parallel = render_report(42, &run_selection(&selection, 42, 64));
+    assert_eq!(sequential, parallel);
+}
+
+#[test]
+fn report_starts_with_seed_header() {
+    let report = full_report(7, 2);
+    assert!(report.starts_with("# Acme reproduction — seed 7\n\n"));
+    // Every experiment contributes a `### id — title` section.
+    assert_eq!(report.matches("\n### ").count(), 36);
+}

@@ -10,8 +10,11 @@ mod extensions;
 mod failures;
 mod infra;
 pub mod queueing;
+pub mod runner;
 mod training;
 mod workload;
+
+pub use runner::{default_jobs, run_selection, ExperimentRun};
 
 /// One reproducible artifact.
 #[derive(Debug, Clone, Copy)]
@@ -210,6 +213,29 @@ pub fn all() -> Vec<Experiment> {
     ]
 }
 
+/// Resolve requested ids into registry experiments, in request order and
+/// with duplicates preserved; the id `all` expands to the full registry in
+/// paper order. Unknown ids are returned in `Err` (none are run).
+pub fn select(ids: &[String]) -> Result<Vec<Experiment>, Vec<String>> {
+    let registry = all();
+    if ids.iter().any(|i| i == "all") {
+        return Ok(registry);
+    }
+    let mut selection = Vec::with_capacity(ids.len());
+    let mut unknown = Vec::new();
+    for id in ids {
+        match registry.iter().find(|e| e.id == *id) {
+            Some(e) => selection.push(*e),
+            None => unknown.push(id.clone()),
+        }
+    }
+    if unknown.is_empty() {
+        Ok(selection)
+    } else {
+        Err(unknown)
+    }
+}
+
 /// Run one experiment by id. `None` when the id is unknown.
 pub fn run(id: &str, seed: u64) -> Option<String> {
     all().into_iter().find(|e| e.id == id).map(|e| {
@@ -258,5 +284,25 @@ mod tests {
     fn run_prepends_header() {
         let s = run("table1", 1).unwrap();
         assert!(s.starts_with("### table1 — Table 1"));
+    }
+
+    #[test]
+    fn select_expands_all_and_preserves_order() {
+        let ids = vec!["all".to_string()];
+        assert_eq!(select(&ids).unwrap().len(), all().len());
+        let ids = vec![
+            "table3".to_string(),
+            "fig2".to_string(),
+            "table3".to_string(),
+        ];
+        let sel = select(&ids).unwrap();
+        let got: Vec<&str> = sel.iter().map(|e| e.id).collect();
+        assert_eq!(got, vec!["table3", "fig2", "table3"]);
+    }
+
+    #[test]
+    fn select_reports_unknown_ids() {
+        let ids = vec!["fig2".to_string(), "bogus".to_string(), "nope".to_string()];
+        assert_eq!(select(&ids).unwrap_err(), vec!["bogus", "nope"]);
     }
 }

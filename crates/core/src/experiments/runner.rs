@@ -1,0 +1,140 @@
+//! Deterministic parallel execution of experiment selections.
+//!
+//! Every experiment is a pure function of its seed, so independent
+//! experiments can run on separate worker threads — the only requirement
+//! for bit-reproducibility (DESIGN.md §6) is that results are *emitted* in
+//! selection order, not *computed* in it. The runner buffers each
+//! experiment's output in a per-slot cell and hands back the slots in
+//! order, so `repro all --jobs N` is byte-identical to `--jobs 1`.
+//!
+//! No thread pool dependency: workers are `std::thread::scope` threads
+//! pulling indices from one atomic counter (the same worker-fan-out shape
+//! the Berserker workload drivers use).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use super::Experiment;
+
+/// One finished experiment: its formatted report plus the wall time the
+/// run took on its worker.
+#[derive(Debug, Clone)]
+pub struct ExperimentRun {
+    /// Short id (`fig10`, `table3`, …).
+    pub id: &'static str,
+    /// Human title, as shown in the report header.
+    pub title: &'static str,
+    /// The full printable artifact: `### <id> — <title>\n<body>`.
+    pub output: String,
+    /// Wall-clock time spent inside the experiment function.
+    pub wall: Duration,
+}
+
+/// How many workers to use when the caller does not say: one per available
+/// core (and 1 if parallelism cannot be determined).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn run_one(e: &Experiment, seed: u64) -> ExperimentRun {
+    let started = Instant::now();
+    let body = (e.run)(seed);
+    let wall = started.elapsed();
+    ExperimentRun {
+        id: e.id,
+        title: e.title,
+        output: format!("### {} — {}\n{}", e.id, e.title, body),
+        wall,
+    }
+}
+
+/// Run `selection` at `seed` across up to `jobs` worker threads, returning
+/// results **in selection order** regardless of completion order.
+///
+/// `jobs` is clamped to `[1, selection.len()]`; `jobs == 1` runs inline on
+/// the calling thread (no spawn overhead, the exact sequential path). A
+/// panicking experiment propagates out of the scope, as it would
+/// sequentially.
+pub fn run_selection(selection: &[Experiment], seed: u64, jobs: usize) -> Vec<ExperimentRun> {
+    let jobs = jobs.max(1).min(selection.len().max(1));
+    if jobs == 1 {
+        return selection.iter().map(|e| run_one(e, seed)).collect();
+    }
+
+    // One pre-allocated slot per experiment; each is written by exactly one
+    // worker, so plain `Mutex<Option<_>>` cells are contention-free.
+    let slots: Vec<std::sync::Mutex<Option<ExperimentRun>>> = selection
+        .iter()
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(e) = selection.get(i) else { break };
+                let run = run_one(e, seed);
+                *slots[i].lock().expect("result slot poisoned") = Some(run);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker exited without filling its slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::all;
+
+    #[test]
+    fn parallel_matches_sequential_on_a_subset() {
+        let registry = all();
+        let subset: Vec<Experiment> = registry.into_iter().take(6).collect();
+        let seq = run_selection(&subset, 42, 1);
+        for jobs in [2, 3, 8] {
+            let par = run_selection(&subset, 42, jobs);
+            assert_eq!(seq.len(), par.len());
+            for (s, p) in seq.iter().zip(&par) {
+                assert_eq!(s.id, p.id);
+                assert_eq!(s.output, p.output, "jobs={jobs} diverged on {}", s.id);
+            }
+        }
+    }
+
+    #[test]
+    fn jobs_clamped_and_empty_selection_ok() {
+        assert!(run_selection(&[], 1, 0).is_empty());
+        assert!(run_selection(&[], 1, 64).is_empty());
+        let one = &all()[..1];
+        let r = run_selection(one, 7, 0);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].id, one[0].id);
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn wall_times_are_recorded() {
+        let subset = &all()[..2];
+        for run in run_selection(subset, 42, 2) {
+            assert!(!run.output.is_empty());
+            // Duration is non-negative by type; just confirm it was set by
+            // checking the output header matches the experiment.
+            assert!(run.output.starts_with(&format!("### {}", run.id)));
+        }
+    }
+}

@@ -100,11 +100,16 @@ impl ClusterMonitor {
         let picker = Categorical::new(&[mixture.idle, mixture.busy, mixture.peak]);
         let kalos = self.spec.name == "Kalos";
 
+        // One scratch node reused across every window: each iteration
+        // rewrites every GPU's activity and all node-level gauges, so
+        // reusing the buffers is safe and avoids a per-node-per-round
+        // allocation over the six simulated months of 15 s windows.
+        let mut node = acme_cluster::Node::new(self.spec.node);
+
         for round in 0..rounds {
             let t = SimTime::ZERO + MONITOR_CADENCE * round as u64;
             for node_idx in 0..nodes_sampled {
                 let mut busy_gpus = 0;
-                let mut node = acme_cluster::Node::new(self.spec.node);
                 for g in 0..self.spec.node.gpus {
                     let gpu_id = node_idx * self.spec.node.gpus + g;
                     let state = match picker.sample_index(rng) {

@@ -1,0 +1,77 @@
+//! `any::<T>()` — whole-domain strategies for primitive types.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Finite values over a wide dynamic range (no NaN/∞ — the real crate
+    /// generates those too, but every caller here filters them anyway).
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        let magnitude = (rng.unit_f64() * 2.0 - 1.0) * 1e12;
+        magnitude * rng.unit_f64()
+    }
+}
+
+/// Strategy produced by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_generate() {
+        let mut rng = TestRng::from_name("arbitrary-tests");
+        let mut saw_true = false;
+        let mut saw_false = false;
+        for _ in 0..100 {
+            let _: u64 = any::<u64>().generate(&mut rng);
+            let _: u32 = any::<u32>().generate(&mut rng);
+            let b = any::<bool>().generate(&mut rng);
+            saw_true |= b;
+            saw_false |= !b;
+            assert!(any::<f64>().generate(&mut rng).is_finite());
+        }
+        assert!(saw_true && saw_false);
+    }
+}

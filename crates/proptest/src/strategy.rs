@@ -1,0 +1,342 @@
+//! The [`Strategy`] trait and the built-in input generators.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating test inputs of type `Value`.
+///
+/// Unlike upstream proptest there is no value tree / shrinking machinery:
+/// `generate` produces the final value directly.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % width) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let width = (hi - lo) as u64;
+                if width == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % (width + 1)) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add((rng.next_u64() % width) as $t)
+            }
+        }
+    )*};
+}
+
+signed_range_strategies!(i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        // Draw over the closed interval by occasionally emitting the exact
+        // upper endpoint, which a half-open draw would never produce.
+        if rng.next_u64() % 64 == 0 {
+            hi
+        } else {
+            lo + rng.unit_f64() * (hi - lo)
+        }
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($n:ident $idx:tt),+);)*) => {$(
+        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            type Value = ($($n::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+}
+
+/// One parsed unit of a regex-lite pattern: what to emit, and how often.
+#[derive(Debug, Clone)]
+struct PatternAtom {
+    /// `None` means "any character" (`.`); otherwise the allowed set.
+    class: Option<Vec<char>>,
+    min: usize,
+    max: usize,
+}
+
+/// Characters `.` draws from: printable ASCII plus a few multi-byte
+/// characters so char-count vs byte-count confusions surface in tests.
+fn any_char_pool() -> Vec<char> {
+    let mut pool: Vec<char> = (0x20u8..0x7f).map(|b| b as char).collect();
+    pool.extend(['\t', 'é', 'ß', '→', '世']);
+    pool
+}
+
+/// Parse the supported regex subset: literal chars, `.`, `[abc]` classes,
+/// each optionally followed by `{m,n}`, `{n}`, `*`, `+` or `?`.
+fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let class = match chars[i] {
+            '.' => {
+                i += 1;
+                None
+            }
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed `[` in pattern {pattern:?}"));
+                let set: Vec<char> = chars[i + 1..close].to_vec();
+                assert!(!set.is_empty(), "empty class in pattern {pattern:?}");
+                i = close + 1;
+                Some(set)
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                i += 1;
+                Some(vec![c])
+            }
+            c => {
+                i += 1;
+                Some(vec![c])
+            }
+        };
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed `{{` in pattern {pattern:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad repetition lower bound"),
+                        hi.trim().parse().expect("bad repetition upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("bad repetition count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "inverted repetition in pattern {pattern:?}");
+        atoms.push(PatternAtom { class, min, max });
+    }
+    atoms
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    /// Treat the string as a regex-lite pattern and generate a match.
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pool = any_char_pool();
+        let mut out = String::new();
+        for atom in parse_pattern(self) {
+            let n = rng.below(atom.min as u64, atom.max as u64 + 1) as usize;
+            for _ in 0..n {
+                let c = match &atom.class {
+                    Some(set) => set[rng.below(0, set.len() as u64) as usize],
+                    None => pool[rng.below(0, pool.len() as u64) as usize],
+                };
+                out.push(c);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_name("strategy-tests")
+    }
+
+    #[test]
+    fn int_ranges_cover_bounds() {
+        let mut r = rng();
+        let mut saw_lo = false;
+        for _ in 0..500 {
+            let x = (0u32..3).generate(&mut r);
+            assert!(x < 3);
+            saw_lo |= x == 0;
+        }
+        assert!(saw_lo);
+        for _ in 0..100 {
+            let x = (1u64..=2).generate(&mut r);
+            assert!((1..=2).contains(&x));
+        }
+    }
+
+    #[test]
+    fn full_u64_range_does_not_overflow() {
+        let mut r = rng();
+        for _ in 0..64 {
+            let _ = (1u64..u64::MAX).generate(&mut r);
+            let _ = (0u64..=u64::MAX).generate(&mut r);
+        }
+    }
+
+    #[test]
+    fn f64_inclusive_hits_endpoint() {
+        let mut r = rng();
+        let mut hit_hi = false;
+        for _ in 0..1000 {
+            let x = (0.0f64..=1.0).generate(&mut r);
+            assert!((0.0..=1.0).contains(&x));
+            hit_hi |= x == 1.0;
+        }
+        assert!(hit_hi, "inclusive range never produced its upper endpoint");
+    }
+
+    #[test]
+    fn map_and_just() {
+        let mut r = rng();
+        let s = (0u32..10).prop_map(|x| x * 2);
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut r) % 2, 0);
+        }
+        assert_eq!(Just("x").generate(&mut r), "x");
+    }
+
+    #[test]
+    fn pattern_literals_classes_and_counts() {
+        let mut r = rng();
+        assert_eq!("abc".generate(&mut r), "abc");
+        for _ in 0..100 {
+            let s = "[xy]{3}".generate(&mut r);
+            assert_eq!(s.chars().count(), 3);
+            assert!(s.chars().all(|c| c == 'x' || c == 'y'));
+        }
+        let s = "a\\.b".generate(&mut r);
+        assert_eq!(s, "a.b");
+    }
+
+    #[test]
+    fn quantifiers() {
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!("x?".generate(&mut r).len() <= 1);
+            assert!(!"[ab]+".generate(&mut r).is_empty());
+            let _ = ".*".generate(&mut r);
+        }
+    }
+}

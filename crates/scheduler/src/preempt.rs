@@ -80,7 +80,7 @@ impl PreemptiveScheduler {
             );
         }
         let n = jobs.len();
-        let mut queue = EventQueue::new();
+        let mut queue = EventQueue::with_capacity(n + 1);
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by_key(|&i| jobs[i].submit);
         for &i in &order {
@@ -173,7 +173,7 @@ impl PreemptiveScheduler {
                             first_start[i] = Some(now);
                             jobs[i].queue_delay = now.saturating_since(jobs[i].submit);
                         }
-                        queue.schedule(now + remaining[i], Event::Finish(i, generation));
+                        queue.schedule_in(remaining[i], Event::Finish(i, generation));
                     } else {
                         still_waiting.push_back(i);
                     }

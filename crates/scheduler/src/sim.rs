@@ -100,7 +100,9 @@ impl ClusterScheduler {
         let mut order: Vec<usize> = (0..jobs.len()).collect();
         order.sort_by_key(|&i| jobs[i].submit);
 
-        let mut queue = EventQueue::new();
+        // One arrival per job now, plus at most one finish per running job
+        // later: size the future-event list once, up front.
+        let mut queue = EventQueue::with_capacity(jobs.len() + 1);
         for &i in &order {
             queue.schedule(jobs[i].submit, Event::Arrive(i));
         }
@@ -146,7 +148,7 @@ impl ClusterScheduler {
                             used_shared += a.shared;
                             allocs[i] = Some(a);
                             jobs[i].queue_delay = now.saturating_since(jobs[i].submit);
-                            queue.schedule(now + jobs[i].duration, Event::Finish(i));
+                            queue.schedule_in(jobs[i].duration, Event::Finish(i));
                             usage.push((now, used_reserved + used_shared));
                         }
                         // Backfill: keep scanning smaller jobs behind it.

@@ -35,6 +35,15 @@ impl<P: Process> Engine<P> {
         }
     }
 
+    /// Wrap a process with a queue pre-sized for `capacity` pending events.
+    pub fn with_capacity(process: P, capacity: usize) -> Self {
+        Engine {
+            queue: EventQueue::with_capacity(capacity),
+            process,
+            events_handled: 0,
+        }
+    }
+
     /// Seed the queue before running.
     pub fn schedule(&mut self, at: SimTime, event: P::Event) {
         self.queue.schedule(at, event);
@@ -67,6 +76,9 @@ impl<P: Process> Engine<P> {
 
     /// Run until the queue drains or the next event would fire after
     /// `horizon`. Events at exactly `horizon` are processed.
+    ///
+    /// Each loop iteration costs a single heap probe: `pop_before` checks
+    /// the horizon and removes the head in one `peek_mut` access.
     pub fn run_until(&mut self, horizon: SimTime) -> SimTime {
         while let Some((now, event)) = self.queue.pop_before(horizon) {
             self.process.handle(now, event, &mut self.queue);
@@ -138,6 +150,25 @@ mod tests {
         // Resume: the rest still run.
         engine.run();
         assert_eq!(engine.process().fired_at.len(), 101);
+    }
+
+    #[test]
+    fn with_capacity_runs_identically() {
+        let mut a = Engine::new(Countdown {
+            remaining: 5,
+            fired_at: vec![],
+        });
+        let mut b = Engine::with_capacity(
+            Countdown {
+                remaining: 5,
+                fired_at: vec![],
+            },
+            64,
+        );
+        a.schedule(SimTime::ZERO, ());
+        b.schedule(SimTime::ZERO, ());
+        assert_eq!(a.run(), b.run());
+        assert_eq!(a.process().fired_at, b.process().fired_at);
     }
 
     #[test]

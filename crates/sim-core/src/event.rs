@@ -6,7 +6,10 @@
 //! evaluation trials submitted "simultaneously", exactly as §3.2 describes).
 
 use std::cmp::Ordering;
+use std::collections::binary_heap::PeekMut;
 use std::collections::BinaryHeap;
+
+use crate::time::SimDuration;
 
 use crate::time::SimTime;
 
@@ -66,6 +69,22 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// An empty queue with room for `capacity` pending events before any
+    /// reallocation — callers that know their event population (one event
+    /// per job, per trial, per failure) should prefer this constructor.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Reserve room for at least `additional` more pending events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
     /// The time of the most recently popped event (the simulation clock).
     pub fn now(&self) -> SimTime {
         self.now
@@ -83,6 +102,28 @@ impl<E> EventQueue<E> {
             at.as_micros(),
             self.now.as_micros()
         );
+        self.push_unchecked(at, event);
+    }
+
+    /// Schedule `event` after `delay` from the current clock. This is the
+    /// fast path for the overwhelmingly common "relative timer" shape: the
+    /// result can never land in the past, so the past-check is skipped.
+    #[inline]
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        let at = self.now + delay;
+        self.push_unchecked(at, event);
+    }
+
+    /// Schedule `event` at the current clock instant (it pops after every
+    /// event already pending at `now`, preserving FIFO order). Fast path:
+    /// no past-check needed.
+    #[inline]
+    pub fn schedule_now(&mut self, event: E) {
+        self.push_unchecked(self.now, event);
+    }
+
+    #[inline]
+    fn push_unchecked(&mut self, at: SimTime, event: E) {
         self.heap.push(Scheduled {
             time: at,
             seq: self.next_seq,
@@ -100,11 +141,18 @@ impl<E> EventQueue<E> {
     }
 
     /// Pop the earliest event only if it fires at or before `deadline`.
+    ///
+    /// Implemented over `peek_mut` so the deadline check and the removal
+    /// share one heap probe instead of a separate `peek` + `pop` pair —
+    /// this is the innermost loop of every simulation run.
     pub fn pop_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
-        match self.heap.peek() {
-            Some(s) if s.time <= deadline => self.pop(),
-            _ => None,
+        let head = self.heap.peek_mut()?;
+        if head.time > deadline {
+            return None;
         }
+        let s = PeekMut::pop(head);
+        self.now = s.time;
+        Some((s.time, s.event))
     }
 
     /// Timestamp of the next event without popping it.
@@ -170,6 +218,57 @@ mod tests {
         q.schedule(SimTime::from_secs(10), ());
         q.pop();
         q.schedule(SimTime::from_secs(5), ());
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut q = EventQueue::with_capacity(16);
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.schedule(SimTime::from_secs(1), 1u8);
+        q.reserve(100);
+        q.schedule(SimTime::from_secs(2), 2u8);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1), 1)));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), 2)));
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_the_clock() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), "first");
+        q.pop();
+        q.schedule_in(SimDuration::from_secs(5), "second");
+        assert_eq!(q.pop(), Some((SimTime::from_secs(15), "second")));
+    }
+
+    #[test]
+    fn schedule_now_pops_after_existing_same_time_events() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), "kick");
+        q.pop();
+        q.schedule(SimTime::from_secs(1), "a");
+        q.schedule_now("b");
+        q.schedule_in(SimDuration::ZERO, "c");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn fast_paths_preserve_fifo_with_checked_schedule() {
+        // Interleave all three scheduling forms at one instant; pops must
+        // come back in exact insertion order.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), 0u32);
+        q.pop();
+        for i in 0..30u32 {
+            match i % 3 {
+                0 => q.schedule(q.now(), i),
+                1 => q.schedule_now(i),
+                _ => q.schedule_in(SimDuration::ZERO, i),
+            }
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..30).collect::<Vec<_>>());
     }
 
     #[test]

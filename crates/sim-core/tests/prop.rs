@@ -1,7 +1,7 @@
 //! Property-based tests for the simulation kernel.
 
 use acme_sim_core::dist::{Categorical, Distribution, Exponential, LogNormal, Pareto};
-use acme_sim_core::{EventQueue, SimRng, SimTime};
+use acme_sim_core::{EventQueue, SimDuration, SimRng, SimTime};
 use proptest::prelude::*;
 
 proptest! {
@@ -23,6 +23,57 @@ proptest! {
             }
             last = Some((t, idx));
         }
+    }
+
+    /// The fast-path scheduling forms (`schedule_in`, `schedule_now`) are
+    /// interchangeable with checked `schedule` at the same instants: an
+    /// arbitrary interleaving of all three with pops matches a reference
+    /// model that sorts by (time, insertion sequence).
+    #[test]
+    fn fast_path_scheduling_matches_reference_model(
+        ops in prop::collection::vec((0u8..3, 0u64..50, any::<bool>()), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        // Reference future-event list: (absolute micros, insertion seq).
+        let mut pending: Vec<(u64, usize)> = Vec::new();
+        let mut now = 0u64;
+        for (seq, &(mode, offset, pop_after)) in ops.iter().enumerate() {
+            let at = match mode {
+                0 => {
+                    q.schedule(SimTime::from_micros(now + offset), seq);
+                    now + offset
+                }
+                1 => {
+                    q.schedule_in(SimDuration::from_micros(offset), seq);
+                    now + offset
+                }
+                _ => {
+                    q.schedule_now(seq);
+                    now
+                }
+            };
+            pending.push((at, seq));
+            if pop_after {
+                let k = pending
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, &key)| key)
+                    .map(|(k, _)| k)
+                    .unwrap();
+                let (rt, rs) = pending.remove(k);
+                let (t, s) = q.pop().unwrap();
+                prop_assert_eq!(t.as_micros(), rt);
+                prop_assert_eq!(s, rs);
+                now = rt;
+            }
+        }
+        pending.sort_unstable();
+        for (rt, rs) in pending {
+            let (t, s) = q.pop().unwrap();
+            prop_assert_eq!(t.as_micros(), rt);
+            prop_assert_eq!(s, rs);
+        }
+        prop_assert!(q.pop().is_none());
     }
 
     /// Forked RNG streams never change the parent's stream.

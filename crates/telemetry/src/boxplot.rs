@@ -32,23 +32,20 @@ impl BoxplotStats {
         let lo_fence = q1 - 1.5 * iqr;
         let hi_fence = q3 + 1.5 * iqr;
         let xs = cdf.samples();
-        // Whiskers reach the furthest sample inside the fences, clamped to
-        // the box: with interpolated quantiles on tiny samples the nearest
-        // in-fence sample can otherwise land beyond q1/q3.
-        let whisker_lo = xs
-            .iter()
-            .copied()
-            .find(|&x| x >= lo_fence)
-            .unwrap_or(q1)
-            .min(q1);
-        let whisker_hi = xs
-            .iter()
-            .rev()
-            .copied()
-            .find(|&x| x <= hi_fence)
-            .unwrap_or(q3)
-            .max(q3);
-        let outliers = xs.iter().filter(|&&x| x < lo_fence || x > hi_fence).count();
+        // The samples are sorted, so both whiskers and the outlier count
+        // come from two binary searches instead of full scans. Whiskers
+        // reach the furthest sample inside the fences, clamped to the box:
+        // with interpolated quantiles on tiny samples the nearest in-fence
+        // sample can otherwise land beyond q1/q3.
+        let first_inside = xs.partition_point(|&x| x < lo_fence);
+        let past_inside = xs.partition_point(|&x| x <= hi_fence);
+        let whisker_lo = xs.get(first_inside).copied().unwrap_or(q1).min(q1);
+        let whisker_hi = if past_inside > first_inside {
+            xs[past_inside - 1].max(q3)
+        } else {
+            q3
+        };
+        let outliers = first_inside + (xs.len() - past_inside);
         Some(BoxplotStats {
             q1,
             median,

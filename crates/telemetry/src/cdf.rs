@@ -2,11 +2,31 @@
 //!
 //! Every distributional figure in the paper is a CDF; this type turns a bag
 //! of samples into quantiles, point-wise evaluations, and printable series.
+//!
+//! Construction is the hot path — every distributional experiment builds
+//! CDFs over hundreds of thousands of monitor samples — so `from_samples`
+//! uses an unstable sort (equal `f64` keys are indistinguishable, so
+//! stability buys nothing), validates NaN-freedom and accumulates the mean
+//! in one pass, and [`Cdf::from_sorted`] lets callers with already-ordered
+//! series skip the sort entirely.
 
 /// An empirical CDF over `f64` samples. NaNs are rejected at construction.
 #[derive(Debug, Clone)]
 pub struct Cdf {
+    /// Invariant: non-empty, sorted by `total_cmp`, NaN-free.
     sorted: Vec<f64>,
+    /// Arithmetic mean, computed once during the construction pass.
+    mean: f64,
+}
+
+/// Single pass over `samples`: panics on NaN, returns the sum.
+fn checked_sum(samples: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    for &x in samples {
+        assert!(!x.is_nan(), "NaN sample in CDF input");
+        sum += x;
+    }
+    sum
 }
 
 impl Cdf {
@@ -18,12 +38,36 @@ impl Cdf {
         if samples.is_empty() {
             return None;
         }
-        assert!(
-            samples.iter().all(|x| !x.is_nan()),
-            "NaN sample in CDF input"
+        let sum = checked_sum(&samples);
+        samples.sort_unstable_by(f64::total_cmp);
+        let mean = sum / samples.len() as f64;
+        Some(Cdf {
+            sorted: samples,
+            mean,
+        })
+    }
+
+    /// Trust path for series that are already sorted ascending (e.g. a
+    /// quantile sweep or a merge of sorted shards): skips the sort, keeping
+    /// only the single NaN-checking pass. Returns `None` when empty.
+    ///
+    /// # Panics
+    /// Panics if any sample is NaN. Sortedness itself is the caller's
+    /// contract; it is verified in debug builds only.
+    pub fn from_sorted(samples: Vec<f64>) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let sum = checked_sum(&samples);
+        debug_assert!(
+            samples.windows(2).all(|w| w[0].total_cmp(&w[1]).is_le()),
+            "Cdf::from_sorted given unsorted samples"
         );
-        samples.sort_by(|a, b| a.total_cmp(b));
-        Some(Cdf { sorted: samples })
+        let mean = sum / samples.len() as f64;
+        Some(Cdf {
+            sorted: samples,
+            mean,
+        })
     }
 
     /// Number of samples.
@@ -31,24 +75,26 @@ impl Cdf {
         self.sorted.len()
     }
 
-    /// Never true: construction rejects empty inputs.
+    /// Always `false`: construction rejects empty inputs, so a `Cdf` holds
+    /// at least one sample by invariant. Derived from the sample vector
+    /// (not hardcoded) so the invariant is checked where it lives.
     pub fn is_empty(&self) -> bool {
-        false
+        self.sorted.is_empty()
     }
 
-    /// Smallest sample.
+    /// Smallest sample (first of the sorted vector, O(1)).
     pub fn min(&self) -> f64 {
         self.sorted[0]
     }
 
-    /// Largest sample.
+    /// Largest sample (last of the sorted vector, O(1)).
     pub fn max(&self) -> f64 {
         *self.sorted.last().unwrap()
     }
 
-    /// Arithmetic mean.
+    /// Arithmetic mean, cached at construction (O(1)).
     pub fn mean(&self) -> f64 {
-        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+        self.mean
     }
 
     /// Quantile by nearest-rank with linear interpolation, `p ∈ [0, 1]`.
@@ -108,12 +154,19 @@ mod tests {
     #[test]
     fn empty_is_none() {
         assert!(Cdf::from_samples(vec![]).is_none());
+        assert!(Cdf::from_sorted(vec![]).is_none());
     }
 
     #[test]
     #[should_panic(expected = "NaN sample")]
     fn nan_rejected() {
         Cdf::from_samples(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN sample")]
+    fn nan_rejected_on_trust_path() {
+        Cdf::from_sorted(vec![1.0, f64::NAN]);
     }
 
     #[test]
@@ -124,6 +177,35 @@ mod tests {
         assert_eq!(c.mean(), 2.5);
         assert_eq!(c.median(), 2.5);
         assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn from_sorted_matches_from_samples() {
+        let shuffled = vec![5.0, -1.0, 3.0, 3.0, 0.5];
+        let via_sort = Cdf::from_samples(shuffled).unwrap();
+        let via_trust = Cdf::from_sorted(via_sort.samples().to_vec()).unwrap();
+        assert_eq!(via_sort.samples(), via_trust.samples());
+        assert_eq!(via_sort.mean(), via_trust.mean());
+        for p in [0.0, 0.1, 0.5, 0.9, 1.0] {
+            assert_eq!(via_sort.quantile(p), via_trust.quantile(p));
+        }
+    }
+
+    #[test]
+    fn mean_cached_equals_recomputed() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 100.0).collect();
+        let expect = xs.iter().sum::<f64>() / xs.len() as f64;
+        let c = Cdf::from_samples(xs).unwrap();
+        assert!((c.mean() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_zero_sorts_before_positive_zero() {
+        // total_cmp ordering: -0.0 < 0.0; both construction paths agree.
+        let c = cdf(&[0.0, -0.0]);
+        assert!(c.samples()[0].is_sign_negative());
+        assert!(!c.samples()[1].is_sign_negative());
     }
 
     #[test]

@@ -43,9 +43,16 @@ pub mod metric {
 pub type EntityId = u32;
 
 /// A registry of time series keyed by metric name and entity.
+///
+/// Stored as metric → (entity → series) rather than a flat
+/// `(String, EntityId)` key: recording into an existing metric (the
+/// steady-state of every monitoring loop, six samples per GPU per window)
+/// is then a borrowed-key lookup with **no string allocation**, and
+/// per-metric queries walk one inner map instead of filtering the whole
+/// registry.
 #[derive(Debug, Default)]
 pub struct MetricStore {
-    series: BTreeMap<(String, EntityId), TimeSeries>,
+    metrics: BTreeMap<String, BTreeMap<EntityId, TimeSeries>>,
 }
 
 impl MetricStore {
@@ -56,33 +63,40 @@ impl MetricStore {
 
     /// Record one sample for `(metric, entity)` at time `t`.
     pub fn record(&mut self, metric: &str, entity: EntityId, t: SimTime, value: f64) {
-        self.series
-            .entry((metric.to_owned(), entity))
-            .or_default()
-            .push(t, value);
+        // Fast path: the metric already exists — look it up by borrowed
+        // name. Only a metric's first-ever sample allocates the key.
+        let by_entity = match self.metrics.get_mut(metric) {
+            Some(m) => m,
+            None => self.metrics.entry(metric.to_owned()).or_default(),
+        };
+        by_entity.entry(entity).or_default().push(t, value);
     }
 
     /// The series for one `(metric, entity)`, if any samples exist.
     pub fn series(&self, metric: &str, entity: EntityId) -> Option<&TimeSeries> {
-        self.series.get(&(metric.to_owned(), entity))
+        self.metrics.get(metric)?.get(&entity)
     }
 
     /// All entity ids that have samples for `metric`, in ascending order.
     pub fn entities(&self, metric: &str) -> Vec<EntityId> {
-        self.series
-            .keys()
-            .filter(|(m, _)| m == metric)
-            .map(|&(_, e)| e)
-            .collect()
+        self.metrics
+            .get(metric)
+            .map(|m| m.keys().copied().collect())
+            .unwrap_or_default()
     }
 
-    /// Every sample value recorded under `metric` across all entities.
+    /// Every sample value recorded under `metric` across all entities,
+    /// gathered into a single pre-sized allocation.
     pub fn all_values(&self, metric: &str) -> Vec<f64> {
-        self.series
-            .iter()
-            .filter(|((m, _), _)| m == metric)
-            .flat_map(|(_, s)| s.values().collect::<Vec<_>>())
-            .collect()
+        let Some(by_entity) = self.metrics.get(metric) else {
+            return Vec::new();
+        };
+        let total: usize = by_entity.values().map(TimeSeries::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for series in by_entity.values() {
+            out.extend(series.values());
+        }
+        out
     }
 
     /// Empirical CDF of all values under `metric`; `None` if no samples.
@@ -92,12 +106,12 @@ impl MetricStore {
 
     /// Number of `(metric, entity)` series held.
     pub fn len(&self) -> usize {
-        self.series.len()
+        self.metrics.values().map(BTreeMap::len).sum()
     }
 
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.series.is_empty()
+        self.metrics.is_empty()
     }
 }
 
