@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use acme::experiments::{default_jobs, run_selection, select};
+use acme::experiments::{default_jobs, run_selection, select, RunParams};
 use acme_bench::render_report;
 
 fn bench_repro_all(c: &mut Criterion) {
@@ -17,7 +17,7 @@ fn bench_repro_all(c: &mut Criterion) {
 
     group.bench_function("sequential", |b| {
         b.iter(|| {
-            let runs = run_selection(&selection, 42, 1);
+            let runs = run_selection(&selection, RunParams::new(42), 1);
             black_box(render_report(42, &runs).len())
         });
     });
@@ -25,7 +25,7 @@ fn bench_repro_all(c: &mut Criterion) {
     group.bench_function("parallel_all_cores", |b| {
         let jobs = default_jobs().min(selection.len());
         b.iter(|| {
-            let runs = run_selection(&selection, 42, jobs);
+            let runs = run_selection(&selection, RunParams::new(42), jobs);
             black_box(render_report(42, &runs).len())
         });
     });

@@ -1,0 +1,111 @@
+//! Asymptotic-scaling benchmarks for the critical-path kernels, new vs
+//! old, at 1×/4×/16× workload. The point is the *growth curve*, not the
+//! absolute numbers: the incremental BPE trainer and the LSH deduper
+//! should grow near-linearly with corpus size where the retained reference
+//! implementations (`train_reference`, `dedup_allpairs`) grow
+//! quadratically. `BENCH_kernels.json` records a measured snapshot.
+//!
+//! ```text
+//! cargo bench -p acme-bench --bench scaling
+//! cargo bench -p acme-bench --bench scaling -- dedup
+//! ```
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use acme_data::corpus::{CorpusGenerator, Document};
+use acme_data::dedup::MinHashDeduper;
+use acme_data::tokenizer::BpeTokenizer;
+use acme_failure::{FailureReason, LogAgent, LogBundle, LogCompressor};
+use acme_sim_core::SimRng;
+
+const SCALES: [usize; 3] = [1, 4, 16];
+
+/// BPE training corpus: `100 × scale` documents of ~100 words over a
+/// 50 000-word Zipfian vocabulary. The large vocabulary keeps the unique
+/// word count growing with the corpus (at 1 500 words it saturates within
+/// the first hundred documents, which would flatten the reference
+/// trainer's cost curve and hide the asymptotic difference).
+fn corpus_texts(scale: usize) -> Vec<String> {
+    let mut rng = SimRng::new(42);
+    CorpusGenerator::new(50_000, 100.0)
+        .generate(&mut rng, 100 * scale)
+        .into_iter()
+        .map(|d| d.text)
+        .collect()
+}
+
+/// Dedup corpus: `1000 × scale` documents. Both implementations pay the
+/// same O(n) signature cost, so the corpus must be large enough for the
+/// O(n²) pair scan to dominate it before the banding win is visible.
+fn corpus_docs(scale: usize) -> Vec<Document> {
+    let mut rng = SimRng::new(42);
+    CorpusGenerator::new(1500, 100.0).generate(&mut rng, 1000 * scale)
+}
+
+fn bench_bpe_train(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bpe_train");
+    group.sample_size(10);
+    for scale in SCALES {
+        let texts = corpus_texts(scale);
+        group.bench_function(&format!("incremental/{scale}x"), |b| {
+            b.iter(|| black_box(BpeTokenizer::train(&texts, 512).merge_count()));
+        });
+        group.bench_function(&format!("reference/{scale}x"), |b| {
+            b.iter(|| black_box(BpeTokenizer::train_reference(&texts, 512).merge_count()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_dedup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dedup");
+    group.sample_size(10);
+    for scale in SCALES {
+        let docs = corpus_docs(scale);
+        let deduper = MinHashDeduper::new();
+        group.bench_function(&format!("lsh/{scale}x"), |b| {
+            b.iter_batched(
+                || docs.clone(),
+                |d| black_box(deduper.dedup(d).0.len()),
+                BatchSize::LargeInput,
+            );
+        });
+        group.bench_function(&format!("allpairs/{scale}x"), |b| {
+            b.iter_batched(
+                || docs.clone(),
+                |d| black_box(deduper.dedup_allpairs(d).0.len()),
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_log_compress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("log_compress");
+    group.sample_size(10);
+    let agent = LogAgent::default();
+    for scale in SCALES {
+        let mut rng = SimRng::new(42);
+        let bundle = LogBundle::generate(FailureReason::CudaError, 400 * scale, &mut rng);
+        group.bench_function(&format!("indexed/{scale}x"), |b| {
+            b.iter(|| {
+                let mut comp = LogCompressor::new();
+                comp.add_rules(agent.mine_rules(&bundle.lines));
+                black_box(comp.compress(&bundle.lines).len())
+            });
+        });
+        group.bench_function(&format!("reference/{scale}x"), |b| {
+            b.iter(|| {
+                let mut comp = acme_failure::LogCompressorReference::new();
+                comp.add_rules(agent.mine_rules_reference(&bundle.lines));
+                black_box(comp.compress(&bundle.lines).len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(scaling, bench_bpe_train, bench_dedup, bench_log_compress);
+criterion_main!(scaling);

@@ -6,6 +6,7 @@
 //! repro all --jobs 8               # same bytes, computed on 8 workers
 //! repro fig10 table3               # run a selection
 //! repro fig6 --seed 7              # override the seed
+//! repro data --scale 16            # 16× the heavy-experiment workloads
 //! repro all --timings-json t.json  # machine-readable timing dump
 //! ```
 //!
@@ -22,7 +23,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: repro [--list] [--seed N] [--jobs N] [--timings-json PATH] [all | <id>...]"
+                "usage: repro [--list] [--seed N] [--jobs N] [--scale N] [--timings-json PATH] [all | <id>...]"
             );
             return ExitCode::FAILURE;
         }
@@ -50,8 +51,9 @@ fn main() -> ExitCode {
         .jobs
         .unwrap_or_else(acme::experiments::default_jobs)
         .min(selection.len().max(1));
+    let params = acme::experiments::RunParams::with_scale(args.seed, args.scale);
     let started = Instant::now();
-    let runs = acme::experiments::run_selection(&selection, args.seed, jobs);
+    let runs = acme::experiments::run_selection(&selection, params, jobs);
     let elapsed = started.elapsed();
 
     print!("{}", acme_bench::render_report(args.seed, &runs));

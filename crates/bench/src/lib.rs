@@ -41,18 +41,21 @@ pub struct HarnessArgs {
     pub list_only: bool,
     /// Worker threads; `None` means one per available core.
     pub jobs: Option<usize>,
+    /// Workload multiplier for the heavy experiments (≥ 1).
+    pub scale: u32,
     /// Write a machine-readable timing dump to this path.
     pub timings_json: Option<String>,
 }
 
 /// Parse harness arguments: experiment ids plus `--seed N`, `--jobs N`,
-/// `--timings-json PATH`, and `--list`.
+/// `--scale N`, `--timings-json PATH`, and `--list`.
 pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<HarnessArgs, String> {
     let mut parsed = HarnessArgs {
         ids: Vec::new(),
         seed: DEFAULT_SEED,
         list_only: false,
         jobs: None,
+        scale: 1,
         timings_json: None,
     };
     let mut iter = args.into_iter();
@@ -69,6 +72,14 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<HarnessArgs
                     return Err("--jobs must be at least 1".into());
                 }
                 parsed.jobs = Some(n);
+            }
+            "--scale" => {
+                let v = iter.next().ok_or("--scale needs a value")?;
+                let n: u32 = v.parse().map_err(|_| format!("bad scale: {v}"))?;
+                if n == 0 {
+                    return Err("--scale must be at least 1".into());
+                }
+                parsed.scale = n;
             }
             "--timings-json" => {
                 let v = iter.next().ok_or("--timings-json needs a path")?;
@@ -199,6 +210,13 @@ mod tests {
         let p = parse_args(v(&["all", "--jobs", "4", "--timings-json", "t.json"])).unwrap();
         assert_eq!(p.jobs, Some(4));
         assert_eq!(p.timings_json.as_deref(), Some("t.json"));
+        assert_eq!(p.scale, 1);
+    }
+
+    #[test]
+    fn scale_flag() {
+        let p = parse_args(v(&["data", "--scale", "16"])).unwrap();
+        assert_eq!(p.scale, 16);
     }
 
     #[test]
@@ -209,6 +227,9 @@ mod tests {
         assert!(parse_args(v(&["--jobs"])).is_err());
         assert!(parse_args(v(&["--jobs", "x"])).is_err());
         assert!(parse_args(v(&["--jobs", "0"])).is_err());
+        assert!(parse_args(v(&["--scale"])).is_err());
+        assert!(parse_args(v(&["--scale", "0"])).is_err());
+        assert!(parse_args(v(&["--scale", "x"])).is_err());
         assert!(parse_args(v(&["--timings-json"])).is_err());
     }
 

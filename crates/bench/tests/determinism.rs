@@ -4,12 +4,12 @@
 //! (`select` → `run_selection` → `render_report`), so a pass here is a
 //! pass for the shipped tool.
 
-use acme::experiments::{run_selection, select};
+use acme::experiments::{run_selection, select, RunParams};
 use acme_bench::render_report;
 
 fn full_report(seed: u64, jobs: usize) -> String {
     let selection = select(&["all".to_string()]).expect("`all` always resolves");
-    let runs = run_selection(&selection, seed, jobs);
+    let runs = run_selection(&selection, RunParams::new(seed), jobs);
     render_report(seed, &runs)
 }
 
@@ -42,8 +42,8 @@ fn oversubscribed_workers_are_harmless() {
         .map(|s| s.to_string())
         .collect();
     let selection = select(&ids).unwrap();
-    let sequential = render_report(42, &run_selection(&selection, 42, 1));
-    let parallel = render_report(42, &run_selection(&selection, 42, 64));
+    let sequential = render_report(42, &run_selection(&selection, RunParams::new(42), 1));
+    let parallel = render_report(42, &run_selection(&selection, RunParams::new(42), 64));
     assert_eq!(sequential, parallel);
 }
 

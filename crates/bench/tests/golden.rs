@@ -1,0 +1,44 @@
+//! Golden-output regression test: the full `repro all --seed 42` report
+//! must hash to the committed digest. Any behavioural drift in any
+//! experiment — kernel rewrites included — shows up here before it shows
+//! up in a stale EXPERIMENTS.md.
+//!
+//! When an *intentional* output change lands, regenerate the digest with
+//! the command printed by the failure message and update the constant in
+//! the same commit that changes the output.
+
+/// FNV-1a 64 over the report bytes (matches the repo's hashing idiom).
+fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Digest of `render_report(42, repro all)` at default scale.
+const GOLDEN_SEED42_DIGEST: u64 = 0xaf5b_e879_f4df_5a65;
+
+#[test]
+fn repro_all_seed42_matches_golden_digest() {
+    let selection = acme::experiments::select(&["all".to_string()]).unwrap();
+    let runs =
+        acme::experiments::run_selection(&selection, acme::experiments::RunParams::new(42), 4);
+    let report = acme_bench::render_report(42, &runs);
+    let digest = fnv1a_64(report.as_bytes());
+    assert_eq!(
+        digest, GOLDEN_SEED42_DIGEST,
+        "seed-42 report drifted: digest {digest:#018x}, expected {GOLDEN_SEED42_DIGEST:#018x}. \
+         If the change is intentional, update GOLDEN_SEED42_DIGEST."
+    );
+}
+
+#[test]
+fn report_is_jobs_invariant() {
+    let selection = acme::experiments::select(&["all".to_string()]).unwrap();
+    let p = acme::experiments::RunParams::new(42);
+    let seq = acme_bench::render_report(42, &acme::experiments::run_selection(&selection, p, 1));
+    let par = acme_bench::render_report(42, &acme::experiments::run_selection(&selection, p, 8));
+    assert_eq!(seq, par);
+}

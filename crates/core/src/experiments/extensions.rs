@@ -11,12 +11,15 @@ use acme_telemetry::Table;
 use acme_training::loss::{run_with_recovery, DataSpike, LossCurve};
 use acme_workload::{JobType, WorkloadGenerator};
 
+use super::RunParams;
+
 /// `data` — the data-preparation pipeline and dataloader memory
-/// comparison (§2.1, Appendix A.2).
-pub fn data(seed: u64) -> String {
+/// comparison (§2.1, Appendix A.2). `scale` multiplies the raw corpus.
+pub fn data(p: RunParams) -> String {
+    let seed = p.seed;
     let mut rng = SimRng::new(seed).fork(601);
     let (dataset, tokenizer, stats) =
-        DataPipeline::new(512).run_synthetic(&mut rng, 400, 1500, 100.0);
+        DataPipeline::new(512).run_synthetic(&mut rng, 400 * p.scale as usize, 1500, 100.0);
 
     let mut t = Table::new(["pipeline stage", "value"]);
     t.row(["raw documents".to_owned(), stats.raw_docs.to_string()]);
@@ -166,9 +169,13 @@ pub fn preempt(seed: u64) -> String {
 
 /// `pipeline` — the Figure-1 development walk and the integrated §6.1
 /// fault-tolerance campaign (deployed system vs manual baseline).
-pub fn pipeline(seed: u64) -> String {
+/// `scale` multiplies the corpus and both campaign horizons.
+pub fn pipeline(p: RunParams) -> String {
     use crate::pipeline::{DevelopmentPipeline, FaultTolerantTrainer};
-    let report = DevelopmentPipeline::new(seed).run();
+    let seed = p.seed;
+    let pretrain_days = 14 * p.scale as u64;
+    let campaign_days = 21 * p.scale as u64;
+    let report = DevelopmentPipeline::with_scale(seed, p.scale).run();
     let mut t = Table::new(["stage", "outcome"]);
     t.row([
         "1. data preparation".to_owned(),
@@ -182,13 +189,15 @@ pub fn pipeline(seed: u64) -> String {
         ),
     ]);
     t.row([
-        "2. pretraining (14 days, faults)".to_owned(),
+        format!("2. pretraining ({pretrain_days} days, faults)"),
         format!(
             "{} incidents, {} manual, {} cordoned, goodput {}",
             report.pretraining.incidents.len(),
             report.pretraining.manual_interventions,
             report.pretraining.nodes_cordoned,
-            pct(report.pretraining.goodput(SimDuration::from_days(14)))
+            pct(report
+                .pretraining
+                .goodput(SimDuration::from_days(pretrain_days)))
         ),
     ]);
     t.row([
@@ -204,7 +213,7 @@ pub fn pipeline(seed: u64) -> String {
     ]);
 
     // The §6.1 campaign head-to-head.
-    let horizon = SimDuration::from_days(21);
+    let horizon = SimDuration::from_days(campaign_days);
     let mut r1 = SimRng::new(seed).fork(905);
     let mut r2 = SimRng::new(seed).fork(905);
     let auto = FaultTolerantTrainer::deployed().run_campaign(
@@ -218,12 +227,12 @@ pub fn pipeline(seed: u64) -> String {
         horizon,
     );
     let mut c = Table::new([
-        "campaign (21 days)",
-        "incidents",
-        "manual",
-        "downtime (h)",
-        "rollback (h)",
-        "goodput",
+        format!("campaign ({campaign_days} days)"),
+        "incidents".to_owned(),
+        "manual".to_owned(),
+        "downtime (h)".to_owned(),
+        "rollback (h)".to_owned(),
+        "goodput".to_owned(),
     ]);
     for (name, r) in [
         ("§6.1 fault-tolerant system", &auto),
@@ -482,7 +491,7 @@ mod tests {
 
     #[test]
     fn pipeline_experiment_walks_stages_and_compares() {
-        let s = pipeline(5);
+        let s = pipeline(RunParams::new(5));
         for needle in [
             "data preparation",
             "pretraining",
@@ -497,7 +506,7 @@ mod tests {
 
     #[test]
     fn data_experiment_reports_all_stages() {
-        let s = data(1);
+        let s = data(RunParams::new(1));
         for needle in [
             "detoxification",
             "near-duplicates",

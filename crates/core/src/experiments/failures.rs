@@ -82,7 +82,9 @@ pub fn table3(seed: u64) -> String {
 /// §6.1 — stream Table-3-distributed failure logs through the diagnosis
 /// pipeline and measure accuracy, rule/agent split, automation, and
 /// recovery decisions; exercise the NCCL localizer on the hardware cases.
-pub fn diag(seed: u64) -> String {
+/// `scale` multiplies the number of failure bundles streamed through.
+pub fn diag(p: super::RunParams) -> String {
+    let seed = p.seed;
     let mut rng = SimRng::new(seed).fork(502);
     // Seed rules for infrastructure reasons only — the deployment state
     // early in the paper's timeline; everything else must be learned.
@@ -100,7 +102,7 @@ pub fn diag(seed: u64) -> String {
         .map(|r| r.spec().num as f64)
         .collect();
     let picker = Categorical::new(&weights);
-    let n = 400;
+    let n = 400 * p.scale as usize;
     let mut correct = 0;
     let mut auto_restarts = 0;
     let mut cordons = 0;
@@ -187,7 +189,7 @@ mod tests {
 
     #[test]
     fn diag_reports_high_automation() {
-        let s = diag(2);
+        let s = diag(super::super::RunParams::new(2));
         assert!(s.contains("manual-intervention reduction"));
         // Extract the accuracy percentage and sanity-check it.
         let acc_line = s
@@ -205,7 +207,7 @@ mod tests {
 
     #[test]
     fn diag_uses_both_stages() {
-        let s = diag(3);
+        let s = diag(super::super::RunParams::new(3));
         let by_agent = s.lines().find(|l| l.contains("resolved by agent")).unwrap();
         assert!(
             !by_agent.contains(" 0.0%"),

@@ -14,7 +14,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-use super::Experiment;
+use super::{Experiment, RunParams};
 
 /// One finished experiment: its formatted report plus the wall time the
 /// run took on its worker.
@@ -38,9 +38,9 @@ pub fn default_jobs() -> usize {
         .unwrap_or(1)
 }
 
-fn run_one(e: &Experiment, seed: u64) -> ExperimentRun {
+fn run_one(e: &Experiment, params: RunParams) -> ExperimentRun {
     let started = Instant::now();
-    let body = (e.run)(seed);
+    let body = (e.run)(params);
     let wall = started.elapsed();
     ExperimentRun {
         id: e.id,
@@ -50,17 +50,22 @@ fn run_one(e: &Experiment, seed: u64) -> ExperimentRun {
     }
 }
 
-/// Run `selection` at `seed` across up to `jobs` worker threads, returning
-/// results **in selection order** regardless of completion order.
+/// Run `selection` at `params` across up to `jobs` worker threads,
+/// returning results **in selection order** regardless of completion
+/// order.
 ///
 /// `jobs` is clamped to `[1, selection.len()]`; `jobs == 1` runs inline on
 /// the calling thread (no spawn overhead, the exact sequential path). A
 /// panicking experiment propagates out of the scope, as it would
 /// sequentially.
-pub fn run_selection(selection: &[Experiment], seed: u64, jobs: usize) -> Vec<ExperimentRun> {
+pub fn run_selection(
+    selection: &[Experiment],
+    params: RunParams,
+    jobs: usize,
+) -> Vec<ExperimentRun> {
     let jobs = jobs.max(1).min(selection.len().max(1));
     if jobs == 1 {
-        return selection.iter().map(|e| run_one(e, seed)).collect();
+        return selection.iter().map(|e| run_one(e, params)).collect();
     }
 
     // One pre-allocated slot per experiment; each is written by exactly one
@@ -76,7 +81,7 @@ pub fn run_selection(selection: &[Experiment], seed: u64, jobs: usize) -> Vec<Ex
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(e) = selection.get(i) else { break };
-                let run = run_one(e, seed);
+                let run = run_one(e, params);
                 *slots[i].lock().expect("result slot poisoned") = Some(run);
             });
         }
@@ -101,9 +106,9 @@ mod tests {
     fn parallel_matches_sequential_on_a_subset() {
         let registry = all();
         let subset: Vec<Experiment> = registry.into_iter().take(6).collect();
-        let seq = run_selection(&subset, 42, 1);
+        let seq = run_selection(&subset, RunParams::new(42), 1);
         for jobs in [2, 3, 8] {
-            let par = run_selection(&subset, 42, jobs);
+            let par = run_selection(&subset, RunParams::new(42), jobs);
             assert_eq!(seq.len(), par.len());
             for (s, p) in seq.iter().zip(&par) {
                 assert_eq!(s.id, p.id);
@@ -114,10 +119,10 @@ mod tests {
 
     #[test]
     fn jobs_clamped_and_empty_selection_ok() {
-        assert!(run_selection(&[], 1, 0).is_empty());
-        assert!(run_selection(&[], 1, 64).is_empty());
+        assert!(run_selection(&[], RunParams::new(1), 0).is_empty());
+        assert!(run_selection(&[], RunParams::new(1), 64).is_empty());
         let one = &all()[..1];
-        let r = run_selection(one, 7, 0);
+        let r = run_selection(one, RunParams::new(7), 0);
         assert_eq!(r.len(), 1);
         assert_eq!(r[0].id, one[0].id);
     }
@@ -130,7 +135,7 @@ mod tests {
     #[test]
     fn wall_times_are_recorded() {
         let subset = &all()[..2];
-        for run in run_selection(subset, 42, 2) {
+        for run in run_selection(subset, RunParams::new(42), 2) {
             assert!(!run.output.is_empty());
             // Duration is non-negative by type; just confirm it was set by
             // checking the output header matches the experiment.

@@ -272,24 +272,36 @@ pub struct PipelineReport {
 #[derive(Debug)]
 pub struct DevelopmentPipeline {
     seed: u64,
+    scale: u32,
 }
 
 impl DevelopmentPipeline {
-    /// Build with a seed.
+    /// Build with a seed at default scale.
     pub fn new(seed: u64) -> Self {
-        DevelopmentPipeline { seed }
+        Self::with_scale(seed, 1)
+    }
+
+    /// Build with a seed and a workload multiplier: `scale`× the raw
+    /// corpus and a `scale`×-longer pretraining campaign. `scale == 1` is
+    /// exactly [`new`](Self::new).
+    pub fn with_scale(seed: u64, scale: u32) -> Self {
+        DevelopmentPipeline {
+            seed,
+            scale: scale.max(1),
+        }
     }
 
     /// Walk the stages once and report.
     pub fn run(&self) -> PipelineReport {
         let mut rng = SimRng::new(self.seed).fork(901);
-        let (_, _, data) = DataPipeline::new(512).run_synthetic(&mut rng, 300, 1200, 80.0);
+        let (_, _, data) =
+            DataPipeline::new(512).run_synthetic(&mut rng, 300 * self.scale as usize, 1200, 80.0);
 
         let mut train_rng = SimRng::new(self.seed).fork(902);
         let pretraining = FaultTolerantTrainer::deployed().run_campaign(
             &mut train_rng,
             SimDuration::from_hours(15),
-            SimDuration::from_days(14),
+            SimDuration::from_days(14 * self.scale as u64),
         );
 
         // Alignment: SFT on a 7B over 32 GPUs for ~6 hours (§2.1's

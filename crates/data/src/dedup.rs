@@ -4,6 +4,18 @@
 //! misses lightly mutated copies, so we estimate Jaccard similarity of
 //! word k-shingle sets with MinHash signatures and drop documents whose
 //! estimated similarity to an earlier document exceeds a threshold.
+//!
+//! Candidate lookup uses **LSH banding**: the 64-hash signature is split
+//! into bands, each band hashed into a bucket table, and a new document is
+//! compared only against kept documents sharing at least one band bucket —
+//! instead of `any()` over every kept signature. The band width is chosen
+//! from the threshold so banding is *exact*, not probabilistic (see
+//! [`MinHashDeduper::band_rows`]), and every banded candidate is still
+//! verified with [`Signature::similarity`], so [`MinHashDeduper::dedup`]
+//! makes **identical keep/drop decisions** to the all-pairs reference
+//! [`MinHashDeduper::dedup_allpairs`] — a property test holds them equal.
+
+use std::collections::HashMap;
 
 use crate::corpus::Document;
 
@@ -20,6 +32,18 @@ fn fnv1a(words: &[&str]) -> u64 {
         }
         h ^= 0x1f; // shingle separator
         h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// FNV-1a over one band of signature minima (the LSH bucket key).
+fn band_key(rows: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &v in rows {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
     }
     h
 }
@@ -82,6 +106,26 @@ impl MinHashDeduper {
         }
     }
 
+    /// Rows per LSH band: the widest band (fewest buckets to probe) that
+    /// still catches *every* pair at or above the threshold.
+    ///
+    /// A pair with `similarity >= threshold` disagrees on at most
+    /// `D = 64 - ceil(64·threshold)` signature positions. With more than
+    /// `D` bands, the disagreements cannot break every band (pigeonhole),
+    /// so at least one band matches exactly and the pair lands in a shared
+    /// bucket. Banding therefore has no false negatives; false positives
+    /// are removed by the exact similarity check.
+    pub fn band_rows(&self) -> usize {
+        let agree_min = (SIGNATURE_LEN as f64 * self.threshold).ceil() as usize;
+        let max_disagree = SIGNATURE_LEN - agree_min.min(SIGNATURE_LEN);
+        // Widest power-of-two band with band count > max_disagree.
+        let mut rows = SIGNATURE_LEN;
+        while SIGNATURE_LEN / rows <= max_disagree {
+            rows /= 2;
+        }
+        rows.max(1)
+    }
+
     /// Compute a document's signature. Short documents (fewer words than a
     /// shingle) hash as a single shingle.
     pub fn signature(&self, text: &str) -> Signature {
@@ -107,7 +151,54 @@ impl MinHashDeduper {
 
     /// Split a corpus into `(kept, dropped_duplicates)`. The first
     /// occurrence always survives; later similar documents drop.
+    ///
+    /// LSH-banded: candidate kept documents come from shared band buckets
+    /// (see [`band_rows`](Self::band_rows)); only candidates pay the exact
+    /// signature comparison. Decisions are identical to
+    /// [`dedup_allpairs`](Self::dedup_allpairs).
     pub fn dedup(&self, docs: Vec<Document>) -> (Vec<Document>, Vec<Document>) {
+        let rows = self.band_rows();
+        let bands = SIGNATURE_LEN / rows;
+        let mut kept: Vec<Document> = Vec::new();
+        let mut kept_sigs: Vec<Signature> = Vec::new();
+        let mut dropped = Vec::new();
+        // (band index, band hash) -> kept-document indices.
+        let mut buckets: HashMap<(u32, u64), Vec<u32>> = HashMap::new();
+        let mut candidates: Vec<u32> = Vec::new();
+        for doc in docs {
+            let sig = self.signature(&doc.text);
+            candidates.clear();
+            for b in 0..bands {
+                let key = (b as u32, band_key(&sig.0[b * rows..(b + 1) * rows]));
+                if let Some(ids) = buckets.get(&key) {
+                    candidates.extend_from_slice(ids);
+                }
+            }
+            candidates.sort_unstable();
+            candidates.dedup();
+            let is_dup = candidates
+                .iter()
+                .any(|&i| kept_sigs[i as usize].similarity(&sig) >= self.threshold);
+            if is_dup {
+                dropped.push(doc);
+            } else {
+                let id = kept.len() as u32;
+                for b in 0..bands {
+                    let key = (b as u32, band_key(&sig.0[b * rows..(b + 1) * rows]));
+                    buckets.entry(key).or_default().push(id);
+                }
+                kept.push(doc);
+                kept_sigs.push(sig);
+            }
+        }
+        (kept, dropped)
+    }
+
+    /// The all-pairs reference: compare every document against every kept
+    /// signature. Quadratic in kept-corpus size; retained as the
+    /// differential-testing and benchmarking baseline for
+    /// [`dedup`](Self::dedup).
+    pub fn dedup_allpairs(&self, docs: Vec<Document>) -> (Vec<Document>, Vec<Document>) {
         let mut kept: Vec<Document> = Vec::new();
         let mut kept_sigs: Vec<Signature> = Vec::new();
         let mut dropped = Vec::new();
@@ -173,6 +264,19 @@ mod tests {
     }
 
     #[test]
+    fn band_rows_guarantee_holds_across_thresholds() {
+        for (threshold, expect_rows) in [(0.01, 1), (0.5, 1), (0.52, 2), (0.6, 2), (0.9, 8)] {
+            let d = MinHashDeduper::with_params(5, threshold);
+            let rows = d.band_rows();
+            assert_eq!(rows, expect_rows, "threshold {threshold}");
+            // The exactness condition: more bands than possible
+            // disagreements at the threshold.
+            let agree_min = (64.0 * threshold).ceil() as usize;
+            assert!(64 / rows > 64 - agree_min, "threshold {threshold}");
+        }
+    }
+
+    #[test]
     fn dedup_recovers_planted_duplicates() {
         let mut rng = SimRng::new(2);
         let gen = CorpusGenerator::new(2000, 150.0);
@@ -192,6 +296,22 @@ mod tests {
             (false_drops as f64) < 0.05 * 400.0,
             "false drops {false_drops}"
         );
+    }
+
+    #[test]
+    fn lsh_matches_allpairs_on_generated_corpora() {
+        for seed in [3, 4, 5] {
+            let mut rng = SimRng::new(seed);
+            let docs = CorpusGenerator::new(1500, 120.0).generate(&mut rng, 300);
+            for threshold in [0.3, 0.6, 0.85] {
+                let d = MinHashDeduper::with_params(5, threshold);
+                let (k1, x1) = d.dedup(docs.clone());
+                let (k2, x2) = d.dedup_allpairs(docs.clone());
+                let ids = |v: &[Document]| v.iter().map(|d| d.id).collect::<Vec<_>>();
+                assert_eq!(ids(&k1), ids(&k2), "seed {seed} threshold {threshold}");
+                assert_eq!(ids(&x1), ids(&x2), "seed {seed} threshold {threshold}");
+            }
+        }
     }
 
     #[test]

@@ -6,8 +6,18 @@
 //! then greedily merge the most frequent adjacent pair until the target
 //! vocabulary size is reached. Encoding applies merges in learned order;
 //! decoding concatenates the byte sequences back.
+//!
+//! Training is **incremental**: pair counts and a per-pair index of the
+//! words containing each pair are maintained across merges, so each merge
+//! touches only the words it changes instead of recounting every pair in
+//! the corpus ([`BpeTokenizer::train`]). The original recount-everything
+//! trainer is kept as [`BpeTokenizer::train_reference`] — the differential
+//! tests hold both to the same merge list, and the `scaling` bench holds
+//! the incremental trainer to near-linear growth where the reference grows
+//! quadratically.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 /// Token id type.
 pub type TokenId = u32;
@@ -26,8 +36,108 @@ pub struct BpeTokenizer {
 /// Tokens 0..=255 are the raw bytes.
 const BYTE_TOKENS: usize = 256;
 
+/// The word table both trainers start from: each distinct word as a byte
+/// token sequence with its corpus frequency, in a deterministic order.
+fn word_table<S: AsRef<str>>(corpus: &[S]) -> Vec<(Vec<TokenId>, u64)> {
+    let mut word_freq: HashMap<&str, u64> = HashMap::new();
+    for doc in corpus {
+        for w in doc.as_ref().split_whitespace() {
+            *word_freq.entry(w).or_insert(0) += 1;
+        }
+    }
+    let mut words: Vec<(Vec<TokenId>, u64)> = word_freq
+        .into_iter()
+        .map(|(w, f)| (w.bytes().map(|b| b as TokenId).collect(), f))
+        .collect();
+    // Deterministic order regardless of hash seeds.
+    words.sort_by(|a, b| a.0.cmp(&b.0));
+    words
+}
+
+/// Mutable trainer state for the incremental algorithm: live pair counts,
+/// the words each pair occurs in, and a lazily-invalidated max-heap over
+/// `(count, smaller-pair-wins)` candidates.
+struct PairIndex {
+    counts: HashMap<(TokenId, TokenId), u64>,
+    /// Word indices where each pair has (at some point) occurred. Entries
+    /// can go stale when another merge destroys the occurrence; consumers
+    /// re-verify against the word. Never shrinks below the live set.
+    occurs: HashMap<(TokenId, TokenId), Vec<u32>>,
+    /// Max-heap of `(count, Reverse(pair))`: highest count first, ties
+    /// broken toward the smaller pair — the same total order the reference
+    /// trainer's `max_by` uses. Entries are snapshots; a popped entry is
+    /// valid only if its count still matches `counts`.
+    heap: BinaryHeap<(u64, Reverse<(TokenId, TokenId)>)>,
+}
+
+impl PairIndex {
+    fn build(words: &[(Vec<TokenId>, u64)]) -> Self {
+        let mut counts: HashMap<(TokenId, TokenId), u64> = HashMap::new();
+        let mut occurs: HashMap<(TokenId, TokenId), Vec<u32>> = HashMap::new();
+        for (wi, (toks, f)) in words.iter().enumerate() {
+            for w in toks.windows(2) {
+                let pair = (w[0], w[1]);
+                *counts.entry(pair).or_insert(0) += f;
+                occurs.entry(pair).or_default().push(wi as u32);
+            }
+        }
+        let heap = counts.iter().map(|(&p, &c)| (c, Reverse(p))).collect();
+        PairIndex {
+            counts,
+            occurs,
+            heap,
+        }
+    }
+
+    /// Pop the most frequent live pair (ties: smaller pair). Stale heap
+    /// snapshots are discarded on the way.
+    fn pop_best(&mut self) -> Option<((TokenId, TokenId), u64)> {
+        while let Some(&(count, Reverse(pair))) = self.heap.peek() {
+            if self.counts.get(&pair) == Some(&count) {
+                return Some((pair, count));
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    fn add(&mut self, pair: (TokenId, TokenId), f: u64, touched: &mut Vec<(TokenId, TokenId)>) {
+        *self.counts.entry(pair).or_insert(0) += f;
+        touched.push(pair);
+    }
+
+    fn sub(&mut self, pair: (TokenId, TokenId), f: u64, touched: &mut Vec<(TokenId, TokenId)>) {
+        let c = self
+            .counts
+            .get_mut(&pair)
+            .expect("decrement of uncounted pair");
+        *c -= f;
+        if *c == 0 {
+            self.counts.remove(&pair);
+        }
+        touched.push(pair);
+    }
+
+    /// Push fresh heap snapshots for every touched pair.
+    fn refresh(&mut self, touched: &mut Vec<(TokenId, TokenId)>) {
+        touched.sort_unstable();
+        touched.dedup();
+        for pair in touched.drain(..) {
+            if let Some(&c) = self.counts.get(&pair) {
+                self.heap.push((c, Reverse(pair)));
+            }
+        }
+    }
+}
+
 impl BpeTokenizer {
     /// Train on a corpus of documents up to `vocab_size` tokens.
+    ///
+    /// Incremental algorithm: after the initial count, each merge pulls the
+    /// winning pair from a max-heap, rewrites only the words that contain
+    /// it (via the per-pair occurrence index), and patches the neighbour
+    /// pair counts in place — no corpus-wide recount. Produces exactly the
+    /// merge list of [`train_reference`](Self::train_reference).
     ///
     /// # Panics
     /// Panics if `vocab_size < 256` (the byte alphabet is the floor).
@@ -36,21 +146,93 @@ impl BpeTokenizer {
             vocab_size >= BYTE_TOKENS,
             "vocab must cover the byte alphabet"
         );
-        // Word frequency table (whitespace pre-tokenization).
-        let mut word_freq: HashMap<&str, u64> = HashMap::new();
-        for doc in corpus {
-            for w in doc.as_ref().split_whitespace() {
-                *word_freq.entry(w).or_insert(0) += 1;
-            }
-        }
-        // Each word as a token sequence (initially bytes).
-        let mut words: Vec<(Vec<TokenId>, u64)> = word_freq
-            .into_iter()
-            .map(|(w, f)| (w.bytes().map(|b| b as TokenId).collect(), f))
-            .collect();
-        // Deterministic order regardless of hash seeds.
-        words.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut words = word_table(corpus);
+        let mut index = PairIndex::build(&words);
 
+        let mut token_bytes: Vec<Vec<u8>> = (0..BYTE_TOKENS).map(|b| vec![b as u8]).collect();
+        let mut merges = Vec::new();
+        // Scratch buffers reused across merges.
+        let mut touched: Vec<(TokenId, TokenId)> = Vec::new();
+        let mut sites: Vec<u32> = Vec::new();
+
+        while token_bytes.len() < vocab_size {
+            let Some((pair, count)) = index.pop_best() else {
+                break;
+            };
+            if count < 2 {
+                break; // nothing left worth merging
+            }
+            let new_id = token_bytes.len() as TokenId;
+            let mut bytes = token_bytes[pair.0 as usize].clone();
+            bytes.extend_from_slice(&token_bytes[pair.1 as usize]);
+            token_bytes.push(bytes);
+            merges.push((pair, new_id));
+
+            // Rewrite only the words that (may) contain the pair.
+            sites.clear();
+            if let Some(list) = index.occurs.remove(&pair) {
+                sites.extend(list);
+            }
+            sites.sort_unstable();
+            sites.dedup();
+            for &wi in &sites {
+                let (toks, f) = &mut words[wi as usize];
+                let f = *f;
+                if !toks.windows(2).any(|w| (w[0], w[1]) == pair) {
+                    continue; // stale index entry: an earlier merge ate it
+                }
+                // In-place greedy left-to-right rewrite with a write
+                // cursor, patching neighbour pair counts as we go. The
+                // written prefix is final; `toks[r..]` is still pending.
+                let len = toks.len();
+                let (mut w, mut r) = (0usize, 0usize);
+                while r < len {
+                    if r + 1 < len && toks[r] == pair.0 && toks[r + 1] == pair.1 {
+                        index.sub(pair, f, &mut touched);
+                        if w > 0 {
+                            let prev = toks[w - 1];
+                            index.sub((prev, pair.0), f, &mut touched);
+                            index.add((prev, new_id), f, &mut touched);
+                            index.occurs.entry((prev, new_id)).or_default().push(wi);
+                        }
+                        if r + 2 < len {
+                            index.sub((pair.1, toks[r + 2]), f, &mut touched);
+                            index.add((new_id, toks[r + 2]), f, &mut touched);
+                            index
+                                .occurs
+                                .entry((new_id, toks[r + 2]))
+                                .or_default()
+                                .push(wi);
+                        }
+                        toks[w] = new_id;
+                        r += 2;
+                    } else {
+                        toks[w] = toks[r];
+                        r += 1;
+                    }
+                    w += 1;
+                }
+                toks.truncate(w);
+            }
+            index.refresh(&mut touched);
+        }
+
+        Self::from_parts(merges, token_bytes)
+    }
+
+    /// The original trainer: recount every adjacent pair over the whole
+    /// word table for each merge. Quadratic in corpus size × merge count;
+    /// kept as the differential-testing and benchmarking baseline for
+    /// [`train`](Self::train).
+    ///
+    /// # Panics
+    /// Panics if `vocab_size < 256` (the byte alphabet is the floor).
+    pub fn train_reference<S: AsRef<str>>(corpus: &[S], vocab_size: usize) -> Self {
+        assert!(
+            vocab_size >= BYTE_TOKENS,
+            "vocab must cover the byte alphabet"
+        );
+        let mut words = word_table(corpus);
         let mut token_bytes: Vec<Vec<u8>> = (0..BYTE_TOKENS).map(|b| vec![b as u8]).collect();
         let mut merges = Vec::new();
 
@@ -84,6 +266,10 @@ impl BpeTokenizer {
             }
         }
 
+        Self::from_parts(merges, token_bytes)
+    }
+
+    fn from_parts(merges: Vec<((TokenId, TokenId), TokenId)>, token_bytes: Vec<Vec<u8>>) -> Self {
         let merge_map = merges
             .iter()
             .enumerate()
@@ -96,16 +282,23 @@ impl BpeTokenizer {
         }
     }
 
+    /// Replace every non-overlapping `pair` occurrence (greedy, left to
+    /// right) with `new_id`, compacting in place behind a write cursor —
+    /// one O(n) pass, no per-occurrence `Vec::remove` shifting.
     fn apply_merge(toks: &mut Vec<TokenId>, pair: (TokenId, TokenId), new_id: TokenId) {
-        let mut i = 0;
-        while i + 1 < toks.len() {
-            if toks[i] == pair.0 && toks[i + 1] == pair.1 {
-                toks[i] = new_id;
-                toks.remove(i + 1);
+        let len = toks.len();
+        let (mut w, mut r) = (0usize, 0usize);
+        while r < len {
+            if r + 1 < len && toks[r] == pair.0 && toks[r + 1] == pair.1 {
+                toks[w] = new_id;
+                r += 2;
             } else {
-                i += 1;
+                toks[w] = toks[r];
+                r += 1;
             }
+            w += 1;
         }
+        toks.truncate(w);
     }
 
     /// Vocabulary size (bytes + learned merges).
@@ -116,6 +309,11 @@ impl BpeTokenizer {
     /// Number of learned merges.
     pub fn merge_count(&self) -> usize {
         self.merges.len()
+    }
+
+    /// The learned merge list, in priority order (for differential tests).
+    pub fn merges(&self) -> &[((TokenId, TokenId), TokenId)] {
+        &self.merges
     }
 
     /// Encode text into token ids (whitespace becomes word boundaries; a
@@ -133,18 +331,15 @@ impl BpeTokenizer {
             loop {
                 let best = toks
                     .windows(2)
-                    .filter_map(|w| self.merge_map.get(&(w[0], w[1])))
-                    .min_by_key(|&&(rank, _)| rank);
+                    .filter_map(|w| {
+                        let pair = (w[0], w[1]);
+                        self.merge_map
+                            .get(&pair)
+                            .map(|&(rank, id)| (rank, pair, id))
+                    })
+                    .min_by_key(|&(rank, _, _)| rank);
                 match best {
-                    Some(&(_, id)) => {
-                        let pair = *self
-                            .merges
-                            .iter()
-                            .find(|&&(_, mid)| mid == id)
-                            .map(|(p, _)| p)
-                            .unwrap();
-                        Self::apply_merge(&mut toks, pair, id);
-                    }
+                    Some((_, pair, id)) => Self::apply_merge(&mut toks, pair, id),
                     None => break,
                 }
             }
@@ -246,10 +441,35 @@ mod tests {
     }
 
     #[test]
+    fn incremental_matches_reference_trainer() {
+        let corpus = sample_corpus();
+        for vocab in [256, 300, 512, 900] {
+            let fast = BpeTokenizer::train(&corpus, vocab);
+            let slow = BpeTokenizer::train_reference(&corpus, vocab);
+            assert_eq!(fast.merges, slow.merges, "vocab {vocab}");
+            assert_eq!(fast.token_bytes, slow.token_bytes, "vocab {vocab}");
+        }
+    }
+
+    #[test]
+    fn incremental_handles_overlapping_runs() {
+        // "aaaa..." makes (a,a) self-overlap: greedy left-to-right pairing
+        // must match the reference exactly, including neighbour updates
+        // where the previous written token is the freshly merged one.
+        let corpus = vec!["aaaaaaa aaaa aa a".to_owned(); 9];
+        let fast = BpeTokenizer::train(&corpus, 270);
+        let slow = BpeTokenizer::train_reference(&corpus, 270);
+        assert_eq!(fast.merges, slow.merges);
+        assert_eq!(fast.encode("aaaaaaa"), slow.encode("aaaaaaa"));
+    }
+
+    #[test]
     fn stops_when_nothing_left_to_merge() {
         let tok = BpeTokenizer::train(&["ab"], 10_000);
         // Only one pair exists; training stops far short of the target.
         assert!(tok.vocab_size() < 300);
+        let slow = BpeTokenizer::train_reference(&["ab"], 10_000);
+        assert_eq!(tok.merges, slow.merges);
     }
 
     #[test]

@@ -9,13 +9,27 @@
 //! templates (digits and floats abstracted away) and applies the same
 //! voting idea across log segments, so rules learned on one job transfer to
 //! repeated/similar tasks exactly as described.
+//!
+//! Hot-path notes: rule lookup is a hash-set probe on the normalized
+//! template (not a scan), normalization reuses one output buffer across
+//! lines ([`normalize_into`]), and template mining counts into a `HashMap`
+//! that only allocates a key per *unique* template. Results are sorted
+//! before they leave, so everything observable stays deterministic.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 /// Replace every digit run (including decimals, exponents, hex fragments)
 /// with `#`, producing the line's template.
 pub fn normalize(line: &str) -> String {
     let mut out = String::with_capacity(line.len());
+    normalize_into(line, &mut out);
+    out
+}
+
+/// [`normalize`] into a caller-owned buffer (cleared first), so per-line
+/// template computation on the compression hot path allocates nothing.
+pub fn normalize_into(line: &str, out: &mut String) {
+    out.clear();
     let mut in_number = false;
     for c in line.chars() {
         let numeric =
@@ -30,7 +44,6 @@ pub fn normalize(line: &str) -> String {
             out.push(c);
         }
     }
-    out
 }
 
 /// Lines that must never be filtered, whatever the rules say: anything that
@@ -46,7 +59,7 @@ fn is_protected(line: &str) -> bool {
 /// The rule store + compressor.
 #[derive(Debug, Clone, Default)]
 pub struct LogCompressor {
-    rules: BTreeSet<String>,
+    rules: HashSet<String>,
 }
 
 impl LogCompressor {
@@ -77,7 +90,18 @@ impl LogCompressor {
 
     /// Strip regular output; keep everything else (order preserved).
     pub fn compress<'a>(&self, lines: &'a [String]) -> Vec<&'a String> {
-        lines.iter().filter(|l| !self.matches(l)).collect()
+        let mut buf = String::new();
+        let mut kept = Vec::new();
+        for line in lines {
+            if !is_protected(line) {
+                normalize_into(line, &mut buf);
+                if self.rules.contains(buf.as_str()) {
+                    continue;
+                }
+            }
+            kept.push(line);
+        }
+        kept
     }
 
     /// Bytes-kept over bytes-in for a line set.
@@ -119,7 +143,57 @@ impl LogAgent {
     /// templates, and only templates proposed by at least
     /// `votes_required` segments are accepted (the deterministic analogue
     /// of having another LLM vote over repeated Log-Agent passes).
+    ///
+    /// The returned list is sorted, making the result independent of hash
+    /// order even though counting uses `HashMap` internally.
     pub fn mine_rules(&self, lines: &[String]) -> Vec<String> {
+        assert!(self.segments >= self.votes_required && self.votes_required >= 1);
+        if lines.is_empty() {
+            return vec![];
+        }
+        let seg_len = lines.len().div_ceil(self.segments);
+        let mut votes: HashMap<String, usize> = HashMap::new();
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        let mut buf = String::new();
+        for seg in lines.chunks(seg_len.max(1)) {
+            counts.clear();
+            for line in seg {
+                if is_protected(line) {
+                    continue;
+                }
+                normalize_into(line, &mut buf);
+                // Allocate the key string only on first sight of a template.
+                match counts.get_mut(buf.as_str()) {
+                    Some(c) => *c += 1,
+                    None => {
+                        counts.insert(buf.clone(), 1);
+                    }
+                }
+            }
+            for (tpl, &c) in &counts {
+                if c >= self.min_count {
+                    match votes.get_mut(tpl.as_str()) {
+                        Some(v) => *v += 1,
+                        None => {
+                            votes.insert(tpl.clone(), 1);
+                        }
+                    }
+                }
+            }
+        }
+        let mut accepted: Vec<String> = votes
+            .into_iter()
+            .filter(|&(_, v)| v >= self.votes_required)
+            .map(|(tpl, _)| tpl)
+            .collect();
+        accepted.sort_unstable();
+        accepted
+    }
+
+    /// The pre-index reference implementation of [`mine_rules`]: `BTreeMap`
+    /// counting with a fresh `String` per line. Retained as the
+    /// differential-testing and benchmarking baseline.
+    pub fn mine_rules_reference(&self, lines: &[String]) -> Vec<String> {
         assert!(self.segments >= self.votes_required && self.votes_required >= 1);
         if lines.is_empty() {
             return vec![];
@@ -156,6 +230,34 @@ impl LogAgent {
     }
 }
 
+/// The pre-index reference compressor: `BTreeSet` rules, a fresh
+/// normalization `String` per line. Behaviour-identical to
+/// [`LogCompressor`]; retained as a benchmarking baseline.
+#[derive(Debug, Clone, Default)]
+pub struct LogCompressorReference {
+    rules: BTreeSet<String>,
+}
+
+impl LogCompressorReference {
+    /// An empty reference compressor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install many rules.
+    pub fn add_rules(&mut self, templates: impl IntoIterator<Item = String>) {
+        self.rules.extend(templates);
+    }
+
+    /// Strip regular output; keep everything else (order preserved).
+    pub fn compress<'a>(&self, lines: &'a [String]) -> Vec<&'a String> {
+        lines
+            .iter()
+            .filter(|l| is_protected(l) || !self.rules.contains(&normalize(l)))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,6 +276,15 @@ mod tests {
     }
 
     #[test]
+    fn normalize_into_reuses_buffer() {
+        let mut buf = String::from("stale contents");
+        normalize_into("step=42", &mut buf);
+        assert_eq!(buf, "step=#");
+        normalize_into("plain", &mut buf);
+        assert_eq!(buf, "plain");
+    }
+
+    #[test]
     fn same_template_different_values_collide() {
         let a = normalize("INFO grad_norm: step=1 norm=1.234");
         let b = normalize("INFO grad_norm: step=999 norm=0.777");
@@ -187,6 +298,46 @@ mod tests {
         let rules = LogAgent::default().mine_rules(&bundle.lines);
         assert!(rules.len() >= 3, "learned {} rules", rules.len());
         assert!(rules.iter().all(|r| !r.contains("Error")), "{rules:?}");
+    }
+
+    #[test]
+    fn mine_rules_matches_reference() {
+        let agent = LogAgent::default();
+        let mut rng = SimRng::new(9);
+        for reason in [
+            FailureReason::CudaError,
+            FailureReason::NvLinkError,
+            FailureReason::KeyError,
+        ] {
+            let bundle = LogBundle::generate(reason, 400, &mut rng);
+            assert_eq!(
+                agent.mine_rules(&bundle.lines),
+                agent.mine_rules_reference(&bundle.lines),
+                "{reason:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn compress_matches_reference() {
+        let mut rng = SimRng::new(10);
+        let bundle = LogBundle::generate(FailureReason::EccError, 500, &mut rng);
+        let rules = LogAgent::default().mine_rules(&bundle.lines);
+        let mut fast = LogCompressor::new();
+        fast.add_rules(rules.clone());
+        let mut slow = LogCompressorReference::new();
+        slow.add_rules(rules);
+        let a: Vec<&str> = fast
+            .compress(&bundle.lines)
+            .iter()
+            .map(|s| s.as_str())
+            .collect();
+        let b: Vec<&str> = slow
+            .compress(&bundle.lines)
+            .iter()
+            .map(|s| s.as_str())
+            .collect();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -14,9 +14,9 @@
 //!    diagnosis writes a new rule, so the rule set *learns* and the agent
 //!    is consulted less and less — the paper's continuous-improvement loop.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 
-use crate::compress::{LogAgent, LogCompressor};
+use crate::compress::{normalize_into, LogAgent, LogCompressor};
 use crate::taxonomy::{FailureCategory, FailureReason};
 
 /// Embedding dimensionality for the hashed bag-of-words.
@@ -199,6 +199,25 @@ fn rule_pattern(reason: FailureReason) -> &'static str {
     }
 }
 
+/// Whether a rule pattern survives [`normalize`](crate::compress::normalize)
+/// unchanged in every occurrence, so matching it against a line's
+/// *normalized template* is equivalent to matching the raw line.
+///
+/// Normalization only rewrites digit runs (to `#`) and absorbs `.`/`e`/
+/// `-`/`+` immediately following digits. A pattern with no digits and no
+/// `#` is therefore emitted verbatim wherever it occurs — unless its first
+/// character is one of the absorbable four and the occurrence happens to
+/// follow a digit. Conversely, a `#`-free match in the template maps back
+/// to a verbatim run of the raw line. Every built-in [`rule_pattern`]
+/// except `S3StorageError` (whose digit normalizes to `#`) passes this
+/// test; patterns that fail it are matched against the raw lines
+/// instead, so indexing never changes a diagnosis.
+fn pattern_is_template_safe(pattern: &str) -> bool {
+    !pattern.contains('#')
+        && !pattern.bytes().any(|b| b.is_ascii_digit())
+        && !matches!(pattern.chars().next(), Some('.' | 'e' | '-' | '+'))
+}
+
 fn mitigation(reason: FailureReason) -> String {
     match reason.category() {
         FailureCategory::Infrastructure => format!(
@@ -264,9 +283,26 @@ impl DiagnosisPipeline {
         self.log_agent.learn_into(&mut self.compressor, raw_lines);
         let compressed: Vec<&String> = self.compressor.compress(raw_lines);
 
-        // Stage 1: precedence-ordered rule matching.
+        // Stage 1: precedence-ordered rule matching. Lines sharing a
+        // normalized template are matched once: the compressed log is
+        // deduplicated into its unique templates and template-safe
+        // patterns (all the built-ins) scan that much smaller set; only
+        // unsafe patterns fall back to the raw lines.
+        let mut templates: HashSet<String> = HashSet::new();
+        let mut buf = String::new();
+        for l in &compressed {
+            normalize_into(l, &mut buf);
+            if !templates.contains(buf.as_str()) {
+                templates.insert(buf.clone());
+            }
+        }
         for (pattern, reason) in &self.rules {
-            if compressed.iter().any(|l| l.contains(pattern.as_str())) {
+            let hit = if pattern_is_template_safe(pattern) {
+                templates.iter().any(|t| t.contains(pattern.as_str()))
+            } else {
+                compressed.iter().any(|l| l.contains(pattern.as_str()))
+            };
+            if hit {
                 self.stats.by_rule += 1;
                 return Some(DiagnosisReport {
                     reason: *reason,
@@ -462,6 +498,26 @@ mod tests {
         assert!(after_one > 0);
         let _ = p.diagnose(&bundle(FailureReason::OsError, 31).lines);
         assert!(p.filter_rule_count() >= after_one);
+    }
+
+    #[test]
+    fn builtin_rule_patterns_are_template_safe() {
+        // Every built-in pattern takes the template-indexed fast path,
+        // except S3StorageError: its digit gets normalized to '#', so the
+        // guard must route it to the raw-line fallback.
+        for &r in FailureReason::ALL.iter() {
+            let safe = pattern_is_template_safe(rule_pattern(r));
+            if r == FailureReason::S3StorageError {
+                assert!(!safe, "digit-bearing pattern must use the raw scan");
+            } else {
+                assert!(safe, "{r:?}");
+            }
+        }
+        // The guard also rejects other patterns normalization can bend.
+        assert!(!pattern_is_template_safe("lr=4e-04"));
+        assert!(!pattern_is_template_safe("e-04 grad"));
+        assert!(!pattern_is_template_safe("step #"));
+        assert!(!pattern_is_template_safe(".5 ratio"));
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod recovery;
 pub mod taxonomy;
 pub mod watchdog;
 
-pub use compress::{LogAgent, LogCompressor};
+pub use compress::{LogAgent, LogCompressor, LogCompressorReference};
 pub use detect::{NcclTester, TwoRoundResult};
 pub use diagnose::{DiagnosisPipeline, DiagnosisReport, DiagnosisSource};
 pub use inject::{FailureEvent, FailureInjector};

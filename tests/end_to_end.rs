@@ -97,7 +97,7 @@ fn whole_stack_determinism() {
         for e in acme::experiments::all() {
             // A fast subset keeps this test quick but still spans crates.
             if ["table1", "fig5", "fig9", "fig12", "fig16l", "ckpt"].contains(&e.id) {
-                out.push_str(&(e.run)(seed));
+                out.push_str(&(e.run)(acme::experiments::RunParams::new(seed)));
             }
         }
         out
