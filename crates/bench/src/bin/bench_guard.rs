@@ -99,6 +99,18 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
     })
 }
 
+/// Ids present in the current dump but absent from the baseline — newly
+/// added experiments (e.g. `storm` before a baseline refresh). These are
+/// reported as an informative notice, never an error: a new experiment has
+/// no baseline to regress against.
+fn unbaselined(baseline: &BTreeMap<String, f64>, current: &BTreeMap<String, f64>) -> Vec<String> {
+    current
+        .keys()
+        .filter(|id| !baseline.contains_key(*id))
+        .cloned()
+        .collect()
+}
+
 /// The ids that regressed: `(id, baseline ms, current ms)`.
 fn regressions(
     baseline: &BTreeMap<String, f64>,
@@ -139,6 +151,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    let new_ids = unbaselined(&baseline, &current);
+    if !new_ids.is_empty() {
+        println!(
+            "bench_guard: {} experiment(s) not in baseline (skipped, refresh the baseline to cover them): {}",
+            new_ids.len(),
+            new_ids.join(", ")
+        );
+    }
 
     let bad = regressions(&baseline, &current, args.factor);
     if bad.is_empty() {
@@ -217,6 +238,19 @@ mod tests {
         let base = parse_timings(SAMPLE).unwrap();
         let cur = BTreeMap::new();
         assert!(regressions(&base, &cur, 2.0).is_empty());
+    }
+
+    #[test]
+    fn new_experiment_is_a_notice_not_an_error() {
+        let base = parse_timings(SAMPLE).unwrap();
+        let mut cur = base.clone();
+        cur.insert("storm".to_string(), 500.0);
+        // Not in the baseline: surfaced by name…
+        assert_eq!(unbaselined(&base, &cur), vec!["storm".to_string()]);
+        // …but never counted as a regression, however slow it is.
+        assert!(regressions(&base, &cur, 2.0).is_empty());
+        // Established ids don't show up as new.
+        assert!(unbaselined(&base, &base).is_empty());
     }
 
     #[test]

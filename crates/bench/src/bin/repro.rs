@@ -66,5 +66,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    if acme_bench::any_failed(&runs) {
+        let failed: Vec<&str> = runs.iter().filter(|r| r.failed).map(|r| r.id).collect();
+        eprintln!(
+            "error: {} experiment(s) FAILED: {}",
+            failed.len(),
+            failed.join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }

@@ -93,6 +93,13 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<HarnessArgs
     Ok(parsed)
 }
 
+/// Whether any run in the batch failed (panicked experiment): the harness
+/// exits nonzero when this is true, so CI catches a broken artifact even
+/// though the rest of the report still renders.
+pub fn any_failed(runs: &[ExperimentRun]) -> bool {
+    runs.iter().any(|r| r.failed)
+}
+
 /// The exact stdout of a harness run: the seed header followed by every
 /// experiment's report, in selection order. Shared by the `repro` binary
 /// and the determinism tests so what is tested is what ships.
@@ -179,6 +186,7 @@ mod tests {
             title: "t",
             output: format!("### {id} — t\nrow"),
             wall: Duration::from_millis(ms),
+            failed: false,
         }
     }
 
@@ -251,6 +259,15 @@ mod tests {
         let fast_pos = t.find("fast").unwrap();
         assert!(slow_pos < fast_pos);
         assert!(t.contains("2 worker(s)"));
+    }
+
+    #[test]
+    fn any_failed_flags_a_failed_run() {
+        let mut runs = [fake_run("a", 1), fake_run("b", 1)];
+        assert!(!any_failed(&runs));
+        runs[1].failed = true;
+        assert!(any_failed(&runs));
+        assert!(!any_failed(&[]));
     }
 
     #[test]

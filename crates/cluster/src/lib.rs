@@ -18,6 +18,7 @@ pub mod comm;
 pub mod gpu;
 pub mod node;
 pub mod power;
+pub mod spares;
 pub mod spec;
 pub mod storage;
 pub mod thermal;
@@ -26,6 +27,7 @@ pub use comm::{Collective, FabricSpec};
 pub use gpu::{GpuActivity, GpuDevice};
 pub use node::{HostMemoryBreakdown, Node};
 pub use power::{ServerPowerBreakdown, ServerPowerModel};
+pub use spares::SparePool;
 pub use spec::{ClusterSpec, GpuSpec, NodeSpec, SchedulerKind};
 pub use storage::SharedStorage;
 pub use thermal::ThermalModel;

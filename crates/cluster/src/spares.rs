@@ -1,0 +1,110 @@
+//! Hot-spare pool accounting.
+//!
+//! The §6.1 recovery story quietly assumes cordoning is free: a faulty
+//! node leaves, the job restarts at full width. In a real fleet a cordon
+//! only preserves capacity while a *hot spare* — a healthy, powered,
+//! fabric-attached node held in reserve — can take the cordoned node's
+//! place. Once the pool is drained, every further cordon shrinks the
+//! usable fleet and the training job must either stall or continue at
+//! reduced data-parallel width. This module is the bookkeeping for that
+//! trade-off; the recovery orchestrator consults it to choose between
+//! substitution and graceful degradation.
+
+/// A pool of hot spare nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SparePool {
+    total: u32,
+    drawn: u32,
+}
+
+impl SparePool {
+    /// A pool holding `total` spares.
+    pub fn new(total: u32) -> Self {
+        SparePool { total, drawn: 0 }
+    }
+
+    /// The operational default for a Kalos-sized pretraining fleet: two
+    /// hot spares — enough for the common single-node loss, not for a
+    /// storm.
+    pub fn kalos_default() -> Self {
+        SparePool::new(2)
+    }
+
+    /// Spares provisioned.
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// Spares already in service.
+    pub fn drawn(&self) -> u32 {
+        self.drawn
+    }
+
+    /// Spares still available.
+    pub fn available(&self) -> u32 {
+        self.total - self.drawn
+    }
+
+    /// Whether the pool is empty.
+    pub fn exhausted(&self) -> bool {
+        self.drawn >= self.total
+    }
+
+    /// Take a spare to cover a cordoned node. Returns `true` when a spare
+    /// was available (capacity preserved), `false` when the pool is
+    /// exhausted (the fleet shrinks).
+    pub fn draw(&mut self) -> bool {
+        if self.exhausted() {
+            return false;
+        }
+        self.drawn += 1;
+        true
+    }
+
+    /// Return `n` repaired nodes to the pool (clamped at `total`).
+    pub fn restock(&mut self, n: u32) {
+        self.drawn = self.drawn.saturating_sub(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_until_exhausted() {
+        let mut p = SparePool::new(2);
+        assert_eq!(p.available(), 2);
+        assert!(p.draw());
+        assert!(p.draw());
+        assert!(p.exhausted());
+        assert!(!p.draw(), "drained pool must refuse");
+        assert_eq!(p.drawn(), 2);
+        assert_eq!(p.available(), 0);
+    }
+
+    #[test]
+    fn restock_returns_capacity_and_clamps() {
+        let mut p = SparePool::new(3);
+        assert!(p.draw());
+        assert!(p.draw());
+        p.restock(1);
+        assert_eq!(p.available(), 2);
+        p.restock(10);
+        assert_eq!(p.available(), 3, "restock clamps at total");
+        assert_eq!(p.drawn(), 0);
+    }
+
+    #[test]
+    fn zero_pool_is_always_exhausted() {
+        let mut p = SparePool::new(0);
+        assert!(p.exhausted());
+        assert!(!p.draw());
+    }
+
+    #[test]
+    fn kalos_default_is_small() {
+        let p = SparePool::kalos_default();
+        assert!(p.total() >= 1 && p.total() <= 4);
+    }
+}

@@ -11,6 +11,7 @@ mod failures;
 mod infra;
 pub mod queueing;
 pub mod runner;
+mod storm;
 mod training;
 mod workload;
 
@@ -241,6 +242,13 @@ pub fn all() -> Vec<Experiment> {
             title: "§4.2: tokenized-data caching across checkpoint evaluations",
             run: |p| extensions::cache(p.seed),
         },
+        // Keep `storm` last: the pre-existing registry must stay a stable
+        // prefix so historical `repro all` output is unchanged before it.
+        Experiment {
+            id: "storm",
+            title: "§6.1 stress: fault-storm recovery-policy ablation",
+            run: storm::storm,
+        },
     ]
 }
 
@@ -286,11 +294,16 @@ mod tests {
             "table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
             "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig16l", "fig16r", "fig17",
             "fig18", "fig19", "fig20", "fig21", "fig22", "ckpt", "diag", "carbon", "data", "loss",
-            "preempt", "pipeline", "thermal", "hpo", "longseq", "lessons", "cache",
+            "preempt", "pipeline", "thermal", "hpo", "longseq", "lessons", "cache", "storm",
         ] {
             assert!(ids.contains(&expected), "missing {expected}");
         }
-        assert_eq!(ids.len(), 36);
+        assert_eq!(ids.len(), 37);
+        assert_eq!(
+            ids.last(),
+            Some(&"storm"),
+            "storm must stay last so the historical registry is a stable prefix"
+        );
         // Ids unique.
         let set: std::collections::HashSet<_> = ids.iter().collect();
         assert_eq!(set.len(), ids.len());
@@ -320,7 +333,7 @@ mod tests {
     #[test]
     fn scale_grows_the_heavy_experiments_only() {
         // The stress knob must actually change the heavy workloads…
-        for id in ["data", "diag", "pipeline"] {
+        for id in ["data", "diag", "pipeline", "storm"] {
             let base = run(id, RunParams::new(3)).unwrap();
             let scaled = run(id, RunParams::with_scale(3, 2)).unwrap();
             assert_ne!(base, scaled, "{id} ignored scale");

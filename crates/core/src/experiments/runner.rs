@@ -7,10 +7,17 @@
 //! experiment's output in a per-slot cell and hands back the slots in
 //! order, so `repro all --jobs N` is byte-identical to `--jobs 1`.
 //!
+//! A panicking experiment does not take the selection down with it: each
+//! run is contained with `catch_unwind`, the panic becomes a `FAILED`
+//! report block ([`ExperimentRun::failed`]), and the remaining experiments
+//! still run — the `repro` binary turns any failed run into a nonzero
+//! exit.
+//!
 //! No thread pool dependency: workers are `std::thread::scope` threads
 //! pulling indices from one atomic counter (the same worker-fan-out shape
 //! the Berserker workload drivers use).
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -28,6 +35,9 @@ pub struct ExperimentRun {
     pub output: String,
     /// Wall-clock time spent inside the experiment function.
     pub wall: Duration,
+    /// True when the experiment panicked; `output` then carries the
+    /// `FAILED` block instead of the artifact.
+    pub failed: bool,
 }
 
 /// How many workers to use when the caller does not say: one per available
@@ -38,15 +48,41 @@ pub fn default_jobs() -> usize {
         .unwrap_or(1)
 }
 
+/// Best-effort text of a panic payload (`&str` and `String` payloads cover
+/// `panic!`, `assert!`, `unwrap`, …).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
 fn run_one(e: &Experiment, params: RunParams) -> ExperimentRun {
     let started = Instant::now();
-    let body = (e.run)(params);
+    let body = catch_unwind(AssertUnwindSafe(|| (e.run)(params)));
     let wall = started.elapsed();
-    ExperimentRun {
-        id: e.id,
-        title: e.title,
-        output: format!("### {} — {}\n{}", e.id, e.title, body),
-        wall,
+    match body {
+        Ok(body) => ExperimentRun {
+            id: e.id,
+            title: e.title,
+            output: format!("### {} — {}\n{}", e.id, e.title, body),
+            wall,
+            failed: false,
+        },
+        Err(payload) => ExperimentRun {
+            id: e.id,
+            title: e.title,
+            output: format!(
+                "### {} — FAILED\nexperiment panicked: {}\n",
+                e.id,
+                panic_message(payload.as_ref())
+            ),
+            wall,
+            failed: true,
+        },
     }
 }
 
@@ -55,9 +91,9 @@ fn run_one(e: &Experiment, params: RunParams) -> ExperimentRun {
 /// order.
 ///
 /// `jobs` is clamped to `[1, selection.len()]`; `jobs == 1` runs inline on
-/// the calling thread (no spawn overhead, the exact sequential path). A
-/// panicking experiment propagates out of the scope, as it would
-/// sequentially.
+/// the calling thread (no spawn overhead, the exact sequential path).
+/// Panicking experiments are contained either way: they yield a `FAILED`
+/// run and the rest of the selection still executes.
 pub fn run_selection(
     selection: &[Experiment],
     params: RunParams,
@@ -89,10 +125,19 @@ pub fn run_selection(
 
     slots
         .into_iter()
-        .map(|slot| {
+        .zip(selection)
+        .map(|(slot, e)| {
+            // `run_one` never panics (it contains the experiment), so the
+            // slot is always filled; the fallback is pure defence.
             slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("worker exited without filling its slot")
+                .unwrap_or(None)
+                .unwrap_or_else(|| ExperimentRun {
+                    id: e.id,
+                    title: e.title,
+                    output: format!("### {} — FAILED\nworker exited without a result\n", e.id),
+                    wall: Duration::ZERO,
+                    failed: true,
+                })
         })
         .collect()
 }
@@ -113,6 +158,7 @@ mod tests {
             for (s, p) in seq.iter().zip(&par) {
                 assert_eq!(s.id, p.id);
                 assert_eq!(s.output, p.output, "jobs={jobs} diverged on {}", s.id);
+                assert!(!s.failed && !p.failed);
             }
         }
     }
@@ -141,5 +187,32 @@ mod tests {
             // checking the output header matches the experiment.
             assert!(run.output.starts_with(&format!("### {}", run.id)));
         }
+    }
+
+    #[test]
+    fn panicking_experiment_is_contained() {
+        let boom = Experiment {
+            id: "boom",
+            title: "always panics",
+            run: |_| panic!("injected failure for the runner test"),
+        };
+        let mut selection = vec![all()[0], boom, all()[1]];
+        for jobs in [1usize, 3] {
+            let runs = run_selection(&selection, RunParams::new(42), jobs);
+            assert_eq!(runs.len(), 3, "jobs={jobs}");
+            assert!(!runs[0].failed && !runs[2].failed, "jobs={jobs}");
+            assert!(runs[1].failed, "jobs={jobs}");
+            assert!(runs[1].output.starts_with("### boom — FAILED"));
+            assert!(runs[1]
+                .output
+                .contains("experiment panicked: injected failure for the runner test"));
+            // The healthy neighbours still produced their artifacts.
+            assert!(runs[0].output.starts_with(&format!("### {}", runs[0].id)));
+            assert!(runs[2].output.starts_with(&format!("### {}", runs[2].id)));
+        }
+        // Non-&str payloads are reported too.
+        selection[1].run = |_| panic!("{}", String::from("formatted payload"));
+        let runs = run_selection(&selection, RunParams::new(42), 1);
+        assert!(runs[1].output.contains("formatted payload"));
     }
 }

@@ -8,7 +8,10 @@
 //!   the paper's 15 s cadence into a DCGM-like metric store (Figures 7, 8,
 //!   21);
 //! * [`experiments`] — one function per paper table/figure, each returning
-//!   printable rows; the `repro` binary in `acme-bench` drives them.
+//!   printable rows; the `repro` binary in `acme-bench` drives them;
+//! * [`storm`] — replays an adversarial fault storm under the recovery
+//!   escalation ladder's ablation arms (naive restart / retry + backoff /
+//!   full orchestrator with spares).
 //!
 //! # Quickstart
 //!
@@ -27,7 +30,9 @@ pub mod datacenter;
 pub mod experiments;
 pub mod monitor;
 pub mod pipeline;
+pub mod storm;
 
 pub use datacenter::{Acme, AcmeTrace};
 pub use monitor::ClusterMonitor;
 pub use pipeline::{DevelopmentPipeline, FaultTolerantTrainer};
+pub use storm::{StormOutcome, StormPolicy, StormRunner};

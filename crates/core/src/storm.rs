@@ -1,0 +1,598 @@
+//! Running a pretraining campaign *through* a fault storm.
+//!
+//! [`crate::pipeline::FaultTolerantTrainer`] measures the §6.1 system in a
+//! friendly world. [`StormRunner`] replays the same campaign shape against
+//! an adversarial [`StormCampaign`] — flapping nodes, corrupt checkpoints,
+//! hangs that strike during recovery — under one of three recovery
+//! policies, so the value of each escalation-ladder rung can be priced:
+//!
+//! * [`StormPolicy::NaiveRestart`] — the pre-ladder baseline: every
+//!   incident is answered with an immediate restart, nothing is cordoned,
+//!   checkpoints are loaded unvalidated. Deterministic bugs and flapping
+//!   nodes crash-loop until the on-call notices ([`NAIVE_LOOP_LIMIT`]
+//!   wasted restart cycles per loop), and a corrupt checkpoint defeats
+//!   restart after restart until a human restores an older generation.
+//! * [`StormPolicy::RetryBackoff`] — the middle rung: retry budgets with
+//!   exponential backoff and checkpoint validation, but no strike-based
+//!   cordoning and no spare pool. Flapping nodes exhaust their budget and
+//!   page a human, who replaces the node by hand.
+//! * [`StormPolicy::FullOrchestrator`] — the deployed ladder: strike
+//!   counts cordon flapping nodes automatically, a hot-spare pool absorbs
+//!   the first cordons, and once spares are exhausted the campaign
+//!   *degrades gracefully* — it continues at reduced data-parallel width
+//!   (throughput scaled by the surviving fleet fraction) instead of
+//!   stalling for hardware. Cordoned nodes come back after a repair
+//!   turnaround, first refilling lost width and then restocking the spare
+//!   pool.
+//!
+//! Everything is a pure function of (campaign, policy, rng): byte-identical
+//! across reruns at a fixed seed.
+
+use acme_cluster::SparePool;
+use acme_failure::storm::StormCampaign;
+use acme_failure::{
+    DiagnosisPipeline, LogBundle, OrchestratorConfig, RecoveryAction, RecoveryOrchestrator,
+    RetryPolicy, Watchdog,
+};
+use acme_sim_core::{SimDuration, SimRng, SimTime};
+use acme_training::checkpoint::{
+    CheckpointEngine, CheckpointMode, CheckpointScenario, DurabilityTracker,
+};
+
+/// Restart cycles a crash loop burns before the on-call is paged under the
+/// naive policy (nobody watches a restart counter, someone watches a
+/// dashboard).
+pub const NAIVE_LOOP_LIMIT: u32 = 3;
+
+/// The recovery-policy ablation arms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StormPolicy {
+    /// Always restart, never cordon, never validate.
+    NaiveRestart,
+    /// Retry budget + exponential backoff + checkpoint validation; no
+    /// cordons, no spares.
+    RetryBackoff,
+    /// The whole ladder: strikes → cordon → spare pool → graceful
+    /// degradation.
+    FullOrchestrator,
+}
+
+impl StormPolicy {
+    /// Human-readable table label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StormPolicy::NaiveRestart => "naive always-restart",
+            StormPolicy::RetryBackoff => "retry + backoff",
+            StormPolicy::FullOrchestrator => "full orchestrator (spares)",
+        }
+    }
+
+    fn orchestrator_config(&self) -> OrchestratorConfig {
+        match self {
+            // Never consulted for decisions, but constructed uniformly.
+            StormPolicy::NaiveRestart => OrchestratorConfig::benign(),
+            StormPolicy::RetryBackoff => OrchestratorConfig {
+                retry: RetryPolicy::production(),
+                strike_threshold: u32::MAX,
+                validate_checkpoints: true,
+            },
+            StormPolicy::FullOrchestrator => OrchestratorConfig::production(),
+        }
+    }
+}
+
+/// What one policy achieved against one storm.
+#[derive(Debug, Clone)]
+pub struct StormOutcome {
+    /// Which arm produced this.
+    pub policy: StormPolicy,
+    /// Primary incidents handled.
+    pub incidents: u32,
+    /// Times a human had to act.
+    pub manual_interventions: u32,
+    /// Retry-budget escalations (subset of the manual interventions).
+    pub escalations: u32,
+    /// Wasted restart cycles spent crash-looping.
+    pub crash_loop_restarts: u32,
+    /// Nodes taken out of service.
+    pub nodes_cordoned: u32,
+    /// Cordons covered by a hot spare.
+    pub spares_used: u32,
+    /// Total downtime.
+    pub downtime: SimDuration,
+    /// Training progress rolled back, seconds.
+    pub rollback_secs: f64,
+    /// Useful training seconds kept (degradation-weighted, net of
+    /// rollback).
+    pub useful_secs: f64,
+    /// Seconds spent running at reduced data-parallel width.
+    pub degraded_secs: f64,
+    /// The campaign horizon.
+    pub horizon: SimDuration,
+}
+
+impl StormOutcome {
+    /// Useful training time over the horizon.
+    pub fn goodput(&self) -> f64 {
+        self.useful_secs / self.horizon.as_secs_f64()
+    }
+
+    /// Mean time to recovery per incident, minutes.
+    pub fn mttr_mins(&self) -> f64 {
+        if self.incidents == 0 {
+            return 0.0;
+        }
+        self.downtime.as_mins_f64() / self.incidents as f64
+    }
+}
+
+/// Fixed wall-time costs of the recovery machinery.
+const DIAGNOSE: SimDuration = SimDuration::from_mins(2);
+const NCCL_LOCALIZE: SimDuration = SimDuration::from_mins(5);
+const RESTART: SimDuration = SimDuration::from_mins(10);
+const FLAP_REFAIL: SimDuration = SimDuration::from_mins(5);
+const BUG_REFAIL: SimDuration = SimDuration::from_mins(2);
+
+/// Turnaround for a cordoned node to be repaired and returned to service.
+/// Until then the cordon is either covered by a spare or shrinks the
+/// fleet.
+const REPAIR_TURNAROUND: SimDuration = SimDuration::from_hours(36);
+
+/// Live fleet capacity: spare pool, uncovered losses, and the repair
+/// queue that eventually returns cordoned nodes to service.
+struct Fleet {
+    total: u32,
+    lost: u32,
+    spares: SparePool,
+    repairs: std::collections::BinaryHeap<std::cmp::Reverse<SimTime>>,
+}
+
+impl Fleet {
+    fn new(total: u32, spares: u32) -> Self {
+        Fleet {
+            total,
+            lost: 0,
+            spares: SparePool::new(spares),
+            repairs: std::collections::BinaryHeap::new(),
+        }
+    }
+
+    /// Current throughput factor: 1.0 at full data-parallel width.
+    fn factor(&self) -> f64 {
+        (self.total - self.lost) as f64 / self.total as f64
+    }
+
+    /// Cordon a node at `at`; returns `true` when a hot spare covered it,
+    /// `false` when the fleet degrades instead. Either way the node enters
+    /// the repair queue.
+    fn cordon(&mut self, at: SimTime) -> bool {
+        self.repairs.push(std::cmp::Reverse(at + REPAIR_TURNAROUND));
+        if self.spares.draw() {
+            true
+        } else {
+            self.lost += 1;
+            false
+        }
+    }
+
+    /// Apply one completed repair: an uncovered loss rejoins the fleet
+    /// first; otherwise the repaired node restocks the spare pool.
+    fn repair(&mut self) {
+        if self.lost > 0 {
+            self.lost -= 1;
+        } else {
+            self.spares.restock(1);
+        }
+    }
+
+    /// Pop the next repair completing at or before `by`, if any.
+    fn next_repair_by(&mut self, by: SimTime) -> Option<SimTime> {
+        match self.repairs.peek() {
+            Some(&std::cmp::Reverse(r)) if r <= by => {
+                self.repairs.pop();
+                Some(r)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Accrue throughput-weighted uptime from `from` to `to`, applying repair
+/// completions (which restore the throughput factor) as they occur inside
+/// the span. Repairs that completed before `from` (during downtime) are
+/// applied without accrual.
+fn accrue(
+    fleet: &mut Fleet,
+    out: &mut StormOutcome,
+    trained: &mut f64,
+    from: SimTime,
+    to: SimTime,
+) {
+    let mut cursor = from;
+    while let Some(r) = fleet.next_repair_by(to) {
+        if r > cursor {
+            let span = (r - cursor).as_secs_f64();
+            let factor = fleet.factor();
+            *trained += span * factor;
+            if factor < 1.0 {
+                out.degraded_secs += span;
+            }
+            cursor = r;
+        }
+        fleet.repair();
+    }
+    if to > cursor {
+        let span = (to - cursor).as_secs_f64();
+        let factor = fleet.factor();
+        *trained += span * factor;
+        if factor < 1.0 {
+            out.degraded_secs += span;
+        }
+    }
+}
+
+/// Replays a [`StormCampaign`] under a policy.
+#[derive(Debug, Clone, Copy)]
+pub struct StormRunner {
+    /// Nodes in the training fleet.
+    pub fleet_nodes: u32,
+    /// Hot spares provisioned (only the full orchestrator uses them).
+    pub spares: u32,
+    /// Checkpoint cadence.
+    pub checkpoint_interval: SimDuration,
+}
+
+impl StormRunner {
+    /// The deployed shape: the storm's fleet, the Kalos-default spare
+    /// pool, 30-minute async checkpoints.
+    pub fn deployed(fleet_nodes: u32) -> Self {
+        StormRunner {
+            fleet_nodes,
+            spares: SparePool::kalos_default().total(),
+            checkpoint_interval: SimDuration::from_mins(30),
+        }
+    }
+
+    /// Run `campaign` under `policy`. Deterministic in (campaign, policy,
+    /// rng-seed).
+    pub fn run(
+        &self,
+        campaign: &StormCampaign,
+        policy: StormPolicy,
+        rng: &mut SimRng,
+    ) -> StormOutcome {
+        let tracker = DurabilityTracker::new(
+            CheckpointEngine::new(CheckpointScenario::paper_123b()),
+            CheckpointMode::Asynchronous,
+            self.checkpoint_interval.as_secs_f64(),
+        );
+        let mut pipeline = DiagnosisPipeline::with_all_rules();
+        let mut orch = RecoveryOrchestrator::new(policy.orchestrator_config());
+        let mut fleet = Fleet::new(
+            self.fleet_nodes,
+            match policy {
+                StormPolicy::FullOrchestrator => self.spares,
+                _ => 0,
+            },
+        );
+
+        let interval = self.checkpoint_interval.as_secs_f64();
+        let mut out = StormOutcome {
+            policy,
+            incidents: 0,
+            manual_interventions: 0,
+            escalations: 0,
+            crash_loop_restarts: 0,
+            nodes_cordoned: 0,
+            spares_used: 0,
+            downtime: SimDuration::ZERO,
+            rollback_secs: 0.0,
+            useful_secs: 0.0,
+            degraded_secs: 0.0,
+            horizon: campaign.horizon,
+        };
+
+        // Nodes permanently out of the fault pool: cordoned by the ladder
+        // or physically replaced by a human. Either way they stop flapping.
+        let mut fixed: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+        let mut up_since = SimTime::ZERO;
+        let mut trained_weighted = 0.0f64;
+
+        for e in &campaign.events {
+            if e.at < up_since {
+                continue; // absorbed by ongoing recovery
+            }
+            accrue(&mut fleet, &mut out, &mut trained_weighted, up_since, e.at);
+            out.incidents += 1;
+
+            // Diagnose: the cascade's secondary errors are exactly what the
+            // log renderer buries the root cause under.
+            let bundle = LogBundle::generate(e.reason, 150, rng);
+            let report = pipeline
+                .diagnose(&bundle.lines)
+                .expect("generated logs are diagnosable");
+
+            let base_needs_human = acme_failure::RecoveryManager.decide(&report).needs_human();
+            let decision = match policy {
+                StormPolicy::NaiveRestart => None,
+                _ => Some(orch.decide(e.at, &report)),
+            };
+
+            let mut wait = DIAGNOSE;
+            let mut rollback = tracker.loss_at(e.at.as_secs_f64());
+            let mut human = false;
+
+            // The event's flap only matters while its node is in service.
+            let flapping = e.flapping && !fixed.contains(&e.node);
+
+            match &decision {
+                // ---- ladder policies --------------------------------
+                Some(d) => {
+                    wait += d.backoff;
+                    if d.escalated {
+                        out.escalations += 1;
+                    }
+                    if d.action.needs_human() {
+                        // Base NotifyUser or an escalation: a human fixes
+                        // the underlying cause outright.
+                        human = true;
+                        wait += manual_delay(e.at, rng);
+                        if e.corrupt_checkpoint {
+                            rollback += interval; // restores an older generation
+                        }
+                        if flapping {
+                            fixed.insert(e.node); // node replaced by hand
+                        }
+                        wait += RESTART;
+                    } else {
+                        // Automated path.
+                        if let RecoveryAction::AutoRestart { cordon_nodes: true } = d.action {
+                            wait += NCCL_LOCALIZE;
+                            orch.record_strike(e.node);
+                            if orch.should_cordon(e.node) {
+                                orch.mark_cordoned(e.node);
+                                fixed.insert(e.node);
+                                out.nodes_cordoned += 1;
+                                if fleet.cordon(e.at + wait) {
+                                    out.spares_used += 1;
+                                }
+                            }
+                        }
+                        // Checkpoint load, validated.
+                        if e.corrupt_checkpoint && orch.config().validate_checkpoints {
+                            // Integrity check catches it; fall back one
+                            // generation automatically.
+                            let pos = tracker.durable_position_at(e.at.as_secs_f64());
+                            rollback += pos - tracker.fallback_position(pos);
+                            wait += SimDuration::from_secs_f64(tracker.validation_secs());
+                        }
+                        wait += RESTART;
+
+                        // A hang during recovery: the restarted job comes
+                        // back wedged; the tight recovery watchdog catches
+                        // it and one more restart cycle runs.
+                        if e.hang_in_recovery {
+                            let mut w = Watchdog::recovery(e.at + wait);
+                            let timeout = SimDuration::from_mins(11);
+                            assert_eq!(
+                                w.check(e.at + wait + timeout),
+                                acme_failure::WatchdogState::Stuck
+                            );
+                            wait += timeout + RESTART;
+                            out.crash_loop_restarts += 1;
+                        }
+
+                        // Flapping: the node re-fails right after every
+                        // restart until cordoned or the budget pages a
+                        // human to replace it.
+                        if flapping && !fixed.contains(&e.node) {
+                            let budget = orch.config().retry.budget;
+                            let mut attempt = d.attempt;
+                            loop {
+                                wait += FLAP_REFAIL;
+                                out.crash_loop_restarts += 1;
+                                orch.record_strike(e.node);
+                                if orch.should_cordon(e.node) {
+                                    orch.mark_cordoned(e.node);
+                                    fixed.insert(e.node);
+                                    out.nodes_cordoned += 1;
+                                    if fleet.cordon(e.at + wait) {
+                                        out.spares_used += 1;
+                                    }
+                                    wait += RESTART;
+                                    break;
+                                }
+                                attempt += 1;
+                                if attempt > budget {
+                                    // Budget exhausted mid-loop: escalate;
+                                    // a human swaps the hardware.
+                                    out.escalations += 1;
+                                    human = true;
+                                    wait += manual_delay(e.at + wait, rng);
+                                    fixed.insert(e.node);
+                                    wait += RESTART;
+                                    break;
+                                }
+                                wait += orch.config().retry.backoff(attempt) + RESTART;
+                            }
+                        }
+                    }
+                }
+
+                // ---- naive always-restart ---------------------------
+                None => {
+                    // Corrupt checkpoint: the unvalidated load defeats
+                    // restart after restart until the on-call restores an
+                    // older generation by hand.
+                    if e.corrupt_checkpoint {
+                        out.crash_loop_restarts += NAIVE_LOOP_LIMIT;
+                        wait += RESTART * NAIVE_LOOP_LIMIT as u64;
+                        human = true;
+                        wait += manual_delay(e.at + wait, rng);
+                        rollback += interval;
+                        wait += RESTART;
+                    } else {
+                        wait += RESTART;
+                    }
+
+                    if e.hang_in_recovery {
+                        // Nobody armed a recovery watchdog: the wedge sits
+                        // until the steady-state 30-minute watchdog fires.
+                        wait += SimDuration::from_mins(31) + RESTART;
+                        out.crash_loop_restarts += 1;
+                    }
+
+                    // Deterministic bugs re-fail on every naive restart.
+                    if base_needs_human {
+                        out.crash_loop_restarts += NAIVE_LOOP_LIMIT;
+                        wait += (BUG_REFAIL + RESTART) * NAIVE_LOOP_LIMIT as u64;
+                        human = true;
+                        wait += manual_delay(e.at + wait, rng);
+                    }
+
+                    // Flapping node, never cordoned: crash-loop, then a
+                    // human replaces the hardware.
+                    if flapping {
+                        out.crash_loop_restarts += NAIVE_LOOP_LIMIT;
+                        wait += (FLAP_REFAIL + RESTART) * NAIVE_LOOP_LIMIT as u64;
+                        human = true;
+                        wait += manual_delay(e.at + wait, rng);
+                        fixed.insert(e.node);
+                        wait += RESTART;
+                    }
+                }
+            }
+
+            if human {
+                out.manual_interventions += 1;
+            }
+            out.downtime += wait;
+            out.rollback_secs += rollback;
+            up_since = e.at + wait;
+        }
+
+        let end = SimTime::ZERO + campaign.horizon;
+        if up_since < end {
+            accrue(&mut fleet, &mut out, &mut trained_weighted, up_since, end);
+        }
+        out.useful_secs = (trained_weighted - out.rollback_secs).max(0.0);
+        out
+    }
+}
+
+/// Human reaction time: short in the day, until-morning at night (§5.3) —
+/// the same clock the friendly-world campaign uses.
+fn manual_delay(at: SimTime, rng: &mut SimRng) -> SimDuration {
+    let hour = (at.as_secs() / 3600) % 24;
+    if (8..23).contains(&hour) {
+        SimDuration::from_mins(rng.range_u64(15, 45))
+    } else {
+        let secs_into_day = at.as_secs() % 86_400;
+        let to_morning = if secs_into_day < 8 * 3600 {
+            8 * 3600 - secs_into_day
+        } else {
+            86_400 - secs_into_day + 8 * 3600
+        };
+        SimDuration::from_secs(to_morning) + SimDuration::from_mins(rng.range_u64(10, 40))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acme_failure::storm::{StormConfig, StormEngine};
+
+    fn storm(seed: u64) -> StormCampaign {
+        let mut rng = SimRng::new(seed).fork(1001);
+        StormEngine::new(StormConfig::default_storm()).generate(&mut rng)
+    }
+
+    fn outcome(seed: u64, policy: StormPolicy) -> StormOutcome {
+        let campaign = storm(seed);
+        let mut rng = SimRng::new(seed).fork(2000 + policy as u64);
+        StormRunner::deployed(campaign.fleet_nodes).run(&campaign, policy, &mut rng)
+    }
+
+    #[test]
+    fn full_orchestrator_strictly_beats_naive_under_the_default_storm() {
+        // The acceptance bar: better goodput AND fewer humans, at the
+        // default seed and a couple of others for robustness.
+        for seed in [42, 7, 3] {
+            let naive = outcome(seed, StormPolicy::NaiveRestart);
+            let full = outcome(seed, StormPolicy::FullOrchestrator);
+            assert!(
+                full.goodput() > naive.goodput(),
+                "seed {seed}: goodput full {:.4} vs naive {:.4}",
+                full.goodput(),
+                naive.goodput()
+            );
+            assert!(
+                full.manual_interventions < naive.manual_interventions,
+                "seed {seed}: manual full {} vs naive {}",
+                full.manual_interventions,
+                naive.manual_interventions
+            );
+        }
+    }
+
+    #[test]
+    fn every_ladder_rung_helps() {
+        let naive = outcome(42, StormPolicy::NaiveRestart);
+        let mid = outcome(42, StormPolicy::RetryBackoff);
+        let full = outcome(42, StormPolicy::FullOrchestrator);
+        // Retry+backoff already beats naive on wasted restarts…
+        assert!(mid.crash_loop_restarts < naive.crash_loop_restarts);
+        // …and the full ladder converts the middle rung's hardware pages
+        // into automatic cordons.
+        assert!(full.manual_interventions <= mid.manual_interventions);
+        assert!(full.nodes_cordoned > 0);
+        assert!(mid.nodes_cordoned == 0, "middle rung has no cordon rung");
+    }
+
+    #[test]
+    fn spare_exhaustion_degrades_instead_of_stalling() {
+        let full = outcome(42, StormPolicy::FullOrchestrator);
+        if full.nodes_cordoned > full.spares_used {
+            assert!(
+                full.degraded_secs > 0.0,
+                "uncovered cordons must show up as degraded time"
+            );
+        }
+        // Restocked spares can serve several cordons over the campaign,
+        // but never more than one per cordon.
+        assert!(full.spares_used <= full.nodes_cordoned);
+        // Degradation is a throughput haircut, not a stall: goodput stays
+        // well above zero.
+        assert!(full.goodput() > 0.5, "goodput {:.3}", full.goodput());
+    }
+
+    #[test]
+    fn storm_outcomes_are_deterministic() {
+        for policy in [
+            StormPolicy::NaiveRestart,
+            StormPolicy::RetryBackoff,
+            StormPolicy::FullOrchestrator,
+        ] {
+            let a = outcome(9, policy);
+            let b = outcome(9, policy);
+            assert_eq!(a.incidents, b.incidents);
+            assert_eq!(a.manual_interventions, b.manual_interventions);
+            assert_eq!(a.useful_secs, b.useful_secs);
+            assert_eq!(a.downtime, b.downtime);
+        }
+    }
+
+    #[test]
+    fn mttr_and_goodput_are_sane() {
+        for policy in [
+            StormPolicy::NaiveRestart,
+            StormPolicy::RetryBackoff,
+            StormPolicy::FullOrchestrator,
+        ] {
+            let o = outcome(42, policy);
+            assert!(o.incidents > 20, "{policy:?}: {} incidents", o.incidents);
+            assert!(o.mttr_mins() > 10.0, "{policy:?} MTTR {:.1}", o.mttr_mins());
+            assert!(o.goodput() > 0.0 && o.goodput() < 1.0);
+        }
+    }
+}

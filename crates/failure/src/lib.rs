@@ -18,7 +18,14 @@
 //! * [`detect`] — the two-round NCCL allgather test that pinpoints faulty
 //!   nodes;
 //! * [`recovery`] — the decision policy mapping a diagnosis to an action
-//!   (auto-restart, node cordon, loss-spike rollback, or human handoff).
+//!   (auto-restart, node cordon, loss-spike rollback, or human handoff);
+//! * [`storm`] — adversarial fault-storm generation: correlated cascades,
+//!   flapping nodes, corrupt checkpoints and hangs that strike during
+//!   recovery, all deterministic from a seed;
+//! * [`orchestrator`] — the stateful escalation ladder around the recovery
+//!   policy: per-node strike counts, retry budgets with exponential
+//!   backoff, and escalation to a human when restart-looping would
+//!   otherwise burn the fleet.
 
 #![warn(missing_docs)]
 
@@ -27,7 +34,9 @@ pub mod detect;
 pub mod diagnose;
 pub mod inject;
 pub mod logs;
+pub mod orchestrator;
 pub mod recovery;
+pub mod storm;
 pub mod taxonomy;
 pub mod watchdog;
 
@@ -36,6 +45,10 @@ pub use detect::{NcclTester, TwoRoundResult};
 pub use diagnose::{DiagnosisPipeline, DiagnosisReport, DiagnosisSource};
 pub use inject::{FailureEvent, FailureInjector};
 pub use logs::LogBundle;
+pub use orchestrator::{
+    IncidentKey, OrchestratedDecision, OrchestratorConfig, RecoveryOrchestrator, RetryPolicy,
+};
 pub use recovery::{RecoveryAction, RecoveryManager};
+pub use storm::{SecondaryEvent, StormCampaign, StormConfig, StormEngine, StormEvent};
 pub use taxonomy::{FailureCategory, FailureReason, FailureSpec};
 pub use watchdog::{Watchdog, WatchdogState};

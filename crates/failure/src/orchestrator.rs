@@ -1,0 +1,403 @@
+//! Stateful recovery orchestration: the escalation ladder.
+//!
+//! [`crate::RecoveryManager`] is a *stateless* policy: every incident is
+//! decided in isolation, so a flapping node is re-admitted forever and a
+//! deterministic bug restart-loops until a human happens to look. The
+//! orchestrator wraps that policy with the state production systems carry
+//! (ByteDance's retry → backoff → degrade → page ladder):
+//!
+//! * **per-node strike counts** — repeated implications of the same node
+//!   feed a cordon decision once a threshold is crossed, even when each
+//!   individual diagnosis alone would not cordon;
+//! * **per-incident retry budget with exponential backoff** — identical
+//!   failures inside a sliding window consume a budget; while budget
+//!   remains, each retry waits exponentially longer before restarting;
+//!   once exhausted the incident escalates to
+//!   [`RecoveryAction::NotifyUser`] instead of restart-looping;
+//! * **checkpoint validation** — a flag the campaign runner consults to
+//!   verify a checkpoint on load and fall back a generation when it is
+//!   corrupt (see `acme-training`'s `DurabilityTracker`).
+//!
+//! [`OrchestratorConfig::benign`] disables every ladder rung (infinite
+//! budget, no backoff, no strike cordons): in that configuration the
+//! orchestrator reproduces [`crate::RecoveryManager`]'s decisions
+//! incident-for-incident — the differential tests pin this down — which is
+//! what lets it replace the one-shot `decide` call in the development
+//! pipeline without perturbing any existing experiment.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use acme_sim_core::{SimDuration, SimTime};
+
+use crate::diagnose::DiagnosisReport;
+use crate::recovery::{RecoveryAction, RecoveryManager};
+use crate::taxonomy::FailureReason;
+
+/// Identity of an incident for retry accounting: repeated *identical*
+/// trouble is what consumes the budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum IncidentKey {
+    /// A diagnosed failure with this root cause.
+    Failure(FailureReason),
+    /// A watchdog-caught silent hang.
+    SilentHang,
+    /// A loss spike.
+    LossSpike,
+}
+
+/// Retry budget and backoff schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Identical incidents tolerated within one window before escalation.
+    pub budget: u32,
+    /// Backoff before the second attempt; doubles per further attempt.
+    pub backoff_base: SimDuration,
+    /// Backoff ceiling.
+    pub backoff_cap: SimDuration,
+    /// Sliding window: an identical incident further apart than this
+    /// resets the attempt count (a fresh incident, not a loop).
+    pub window: SimDuration,
+}
+
+impl RetryPolicy {
+    /// No ladder at all: infinite budget, zero backoff. The configuration
+    /// under which the orchestrator equals the stateless manager.
+    pub fn infinite() -> Self {
+        RetryPolicy {
+            budget: u32::MAX,
+            backoff_base: SimDuration::ZERO,
+            backoff_cap: SimDuration::ZERO,
+            window: SimDuration::ZERO,
+        }
+    }
+
+    /// The production ladder: three identical incidents within four hours,
+    /// backing off 1 → 2 → 4 → … minutes (capped at 16), then a human.
+    pub fn production() -> Self {
+        RetryPolicy {
+            budget: 3,
+            backoff_base: SimDuration::from_mins(1),
+            backoff_cap: SimDuration::from_mins(16),
+            window: SimDuration::from_hours(4),
+        }
+    }
+
+    /// Backoff before attempt `attempt` (1-based; the first attempt never
+    /// waits).
+    pub fn backoff(&self, attempt: u32) -> SimDuration {
+        if attempt <= 1 || self.backoff_base.is_zero() {
+            return SimDuration::ZERO;
+        }
+        let doublings = (attempt - 2).min(20);
+        let raw = self.backoff_base * (1u64 << doublings);
+        if raw > self.backoff_cap {
+            self.backoff_cap
+        } else {
+            raw
+        }
+    }
+}
+
+/// Full orchestrator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct OrchestratorConfig {
+    /// Retry budget and backoff.
+    pub retry: RetryPolicy,
+    /// Strikes against one node before it is cordoned (`u32::MAX`
+    /// disables strike-based cordoning).
+    pub strike_threshold: u32,
+    /// Whether checkpoints are verified on load (generation fallback on
+    /// corruption instead of a crash loop).
+    pub validate_checkpoints: bool,
+}
+
+impl OrchestratorConfig {
+    /// Ladder fully disabled: reproduces [`RecoveryManager`] exactly.
+    pub fn benign() -> Self {
+        OrchestratorConfig {
+            retry: RetryPolicy::infinite(),
+            strike_threshold: u32::MAX,
+            validate_checkpoints: false,
+        }
+    }
+
+    /// The deployed ladder: production retry policy, two strikes to
+    /// cordon, checkpoints verified on load.
+    pub fn production() -> Self {
+        OrchestratorConfig {
+            retry: RetryPolicy::production(),
+            strike_threshold: 2,
+            validate_checkpoints: true,
+        }
+    }
+}
+
+/// What the orchestrator says about one incident.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrchestratedDecision {
+    /// The action to take (possibly escalated from the base policy).
+    pub action: RecoveryAction,
+    /// Wait before acting (exponential backoff; zero on first attempts).
+    pub backoff: SimDuration,
+    /// Which attempt within the sliding window this is (1-based).
+    pub attempt: u32,
+    /// True when the retry budget was exhausted and the base action was
+    /// escalated to a human handoff.
+    pub escalated: bool,
+}
+
+/// The stateful escalation ladder around [`RecoveryManager`].
+#[derive(Debug, Clone)]
+pub struct RecoveryOrchestrator {
+    config: OrchestratorConfig,
+    manager: RecoveryManager,
+    strikes: BTreeMap<u32, u32>,
+    cordoned: BTreeSet<u32>,
+    last_seen: BTreeMap<IncidentKey, (SimTime, u32)>,
+}
+
+impl RecoveryOrchestrator {
+    /// Build with a config.
+    pub fn new(config: OrchestratorConfig) -> Self {
+        RecoveryOrchestrator {
+            config,
+            manager: RecoveryManager,
+            strikes: BTreeMap::new(),
+            cordoned: BTreeSet::new(),
+            last_seen: BTreeMap::new(),
+        }
+    }
+
+    /// The config.
+    pub fn config(&self) -> &OrchestratorConfig {
+        &self.config
+    }
+
+    /// Run the ladder over a base action.
+    fn ladder(
+        &mut self,
+        at: SimTime,
+        key: IncidentKey,
+        base: RecoveryAction,
+    ) -> OrchestratedDecision {
+        let window = self.config.retry.window;
+        let attempt = match self.last_seen.get(&key) {
+            Some(&(last, n)) if !window.is_zero() && at.saturating_since(last) <= window => n + 1,
+            _ => 1,
+        };
+        self.last_seen.insert(key, (at, attempt));
+
+        if attempt > self.config.retry.budget && !base.needs_human() {
+            return OrchestratedDecision {
+                action: RecoveryAction::NotifyUser {
+                    hint: format!(
+                        "retry budget exhausted: {attempt} identical incidents ({key:?}) \
+                         within the window; paging a human instead of restart-looping"
+                    ),
+                },
+                backoff: SimDuration::ZERO,
+                attempt,
+                escalated: true,
+            };
+        }
+        OrchestratedDecision {
+            backoff: self.config.retry.backoff(attempt),
+            action: base,
+            attempt,
+            escalated: false,
+        }
+    }
+
+    /// Decide the action for a diagnosed failure at `at`.
+    pub fn decide(&mut self, at: SimTime, report: &DiagnosisReport) -> OrchestratedDecision {
+        let base = self.manager.decide(report);
+        self.ladder(at, IncidentKey::Failure(report.reason), base)
+    }
+
+    /// Decide the action for a watchdog-caught silent hang at `at`.
+    pub fn decide_stuck(&mut self, at: SimTime) -> OrchestratedDecision {
+        let base = self.manager.decide_stuck();
+        self.ladder(at, IncidentKey::SilentHang, base)
+    }
+
+    /// Decide the action for a loss spike at `at`.
+    pub fn decide_loss_spike(&mut self, at: SimTime) -> OrchestratedDecision {
+        let base = self.manager.decide_loss_spike();
+        self.ladder(at, IncidentKey::LossSpike, base)
+    }
+
+    /// Record a strike against a node; returns its strike count.
+    pub fn record_strike(&mut self, node: u32) -> u32 {
+        let n = self.strikes.entry(node).or_insert(0);
+        *n += 1;
+        *n
+    }
+
+    /// A node's current strike count.
+    pub fn strikes(&self, node: u32) -> u32 {
+        self.strikes.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Whether the node's strikes have crossed the cordon threshold (and
+    /// it is not already cordoned).
+    pub fn should_cordon(&self, node: u32) -> bool {
+        !self.cordoned.contains(&node) && self.strikes(node) >= self.config.strike_threshold
+    }
+
+    /// Mark a node cordoned.
+    pub fn mark_cordoned(&mut self, node: u32) {
+        self.cordoned.insert(node);
+    }
+
+    /// Whether a node is cordoned.
+    pub fn is_cordoned(&self, node: u32) -> bool {
+        self.cordoned.contains(&node)
+    }
+
+    /// Nodes cordoned so far.
+    pub fn cordoned_count(&self) -> u32 {
+        self.cordoned.len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnose::DiagnosisPipeline;
+    use crate::logs::LogBundle;
+    use acme_sim_core::SimRng;
+
+    fn report_for(reason: FailureReason, seed: u64) -> DiagnosisReport {
+        let mut rng = SimRng::new(seed);
+        let b = LogBundle::generate(reason, 80, &mut rng);
+        DiagnosisPipeline::with_all_rules()
+            .diagnose(&b.lines)
+            .unwrap()
+    }
+
+    fn t(mins: u64) -> SimTime {
+        SimTime::from_secs(mins * 60)
+    }
+
+    #[test]
+    fn benign_orchestrator_equals_the_stateless_manager() {
+        // The differential guarantee: infinite budget + no strikes + no
+        // validation reproduces RecoveryManager incident-for-incident,
+        // even when the same failure repeats rapidly.
+        let mut orch = RecoveryOrchestrator::new(OrchestratorConfig::benign());
+        let manager = RecoveryManager;
+        for (i, &reason) in FailureReason::ALL.iter().enumerate() {
+            let report = report_for(reason, i as u64);
+            for rep in 0..3u64 {
+                let at = t(i as u64 * 100 + rep);
+                let d = orch.decide(at, &report);
+                assert_eq!(d.action, manager.decide(&report), "{reason:?}");
+                assert_eq!(d.backoff, SimDuration::ZERO);
+                assert!(!d.escalated);
+            }
+        }
+        assert_eq!(
+            orch.decide_stuck(t(1)).action,
+            RecoveryManager.decide_stuck()
+        );
+        assert_eq!(
+            orch.decide_loss_spike(t(2)).action,
+            RecoveryManager.decide_loss_spike()
+        );
+    }
+
+    #[test]
+    fn repeated_identical_failures_escalate() {
+        let mut orch = RecoveryOrchestrator::new(OrchestratorConfig::production());
+        let report = report_for(FailureReason::NcclTimeoutError, 1);
+        let budget = orch.config().retry.budget;
+        let mut escalated_at = None;
+        for rep in 0..6u64 {
+            let d = orch.decide(t(rep * 10), &report);
+            if d.escalated {
+                escalated_at = Some(d.attempt);
+                assert!(d.action.needs_human());
+                break;
+            }
+            assert_eq!(d.action, RecoveryAction::AutoRestart { cordon_nodes: true });
+        }
+        assert_eq!(escalated_at, Some(budget + 1));
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RetryPolicy::production();
+        assert_eq!(p.backoff(1), SimDuration::ZERO);
+        assert_eq!(p.backoff(2), SimDuration::from_mins(1));
+        assert_eq!(p.backoff(3), SimDuration::from_mins(2));
+        assert_eq!(p.backoff(4), SimDuration::from_mins(4));
+        assert_eq!(p.backoff(10), SimDuration::from_mins(16)); // capped
+        assert_eq!(p.backoff(40), SimDuration::from_mins(16)); // no overflow
+    }
+
+    #[test]
+    fn window_resets_the_attempt_count() {
+        let mut orch = RecoveryOrchestrator::new(OrchestratorConfig::production());
+        let report = report_for(FailureReason::CudaError, 2);
+        let window = orch.config().retry.window;
+        let d1 = orch.decide(t(0), &report);
+        assert_eq!(d1.attempt, 1);
+        let d2 = orch.decide(t(10), &report);
+        assert_eq!(d2.attempt, 2);
+        // Far outside the window: a fresh incident.
+        let later = t(10) + window + SimDuration::from_mins(1);
+        let d3 = orch.decide(later, &report);
+        assert_eq!(d3.attempt, 1);
+        assert_eq!(d3.backoff, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn distinct_reasons_do_not_share_a_budget() {
+        let mut orch = RecoveryOrchestrator::new(OrchestratorConfig::production());
+        let a = report_for(FailureReason::CudaError, 3);
+        let b = report_for(FailureReason::EccError, 4);
+        for rep in 0..3u64 {
+            assert!(!orch.decide(t(rep * 2), &a).escalated);
+            assert!(!orch.decide(t(rep * 2 + 1), &b).escalated);
+        }
+    }
+
+    #[test]
+    fn strikes_cross_the_cordon_threshold() {
+        let mut orch = RecoveryOrchestrator::new(OrchestratorConfig::production());
+        assert!(!orch.should_cordon(7));
+        assert_eq!(orch.record_strike(7), 1);
+        assert!(!orch.should_cordon(7));
+        assert_eq!(orch.record_strike(7), 2);
+        assert!(orch.should_cordon(7));
+        orch.mark_cordoned(7);
+        assert!(orch.is_cordoned(7));
+        assert!(!orch.should_cordon(7), "already cordoned");
+        assert_eq!(orch.cordoned_count(), 1);
+        // Other nodes unaffected.
+        assert_eq!(orch.strikes(8), 0);
+    }
+
+    #[test]
+    fn benign_config_never_strike_cordons() {
+        let mut orch = RecoveryOrchestrator::new(OrchestratorConfig::benign());
+        for _ in 0..100 {
+            orch.record_strike(3);
+        }
+        assert!(!orch.should_cordon(3));
+    }
+
+    #[test]
+    fn already_human_actions_are_not_double_escalated() {
+        let mut orch = RecoveryOrchestrator::new(OrchestratorConfig::production());
+        let report = report_for(FailureReason::TypeError, 5);
+        for rep in 0..6u64 {
+            let d = orch.decide(t(rep), &report);
+            assert!(d.action.needs_human());
+            assert!(
+                !d.escalated,
+                "NotifyUser is the base action, not an escalation"
+            );
+        }
+    }
+}

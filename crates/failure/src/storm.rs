@@ -1,0 +1,357 @@
+//! Adversarial fault-storm generation.
+//!
+//! The §6.1 fault-tolerance experiments assume a friendly world: failures
+//! arrive independently, every restart succeeds, and checkpoints always
+//! load. Follow-up reliability studies (Meta's restart-storm analysis,
+//! ByteDance's escalation ladder) show production storms are *correlated
+//! and hostile*. This module deterministically renders such campaigns from
+//! a seed so the recovery orchestrator can be measured under adversity:
+//!
+//! * **correlated cascades** — a hardware primary (NVLink, ECC, CUDA, node
+//!   or network death) sprays secondary NCCL/runtime noise, every secondary
+//!   stamped with the primary's correlation id (the same cascade structure
+//!   [`crate::logs::secondary_signatures`] renders into the logs);
+//! * **flapping nodes** — a small set of *hot* nodes attracts repeated
+//!   faults and re-fails right after each restart until cordoned or
+//!   physically replaced;
+//! * **corrupt checkpoints** — the newest assumed-durable checkpoint turns
+//!   out unreadable on load, forcing a generation fallback;
+//! * **hangs during recovery** — the restarted job comes back wedged and
+//!   only a watchdog notices.
+//!
+//! Same seed → byte-identical campaign; no event (primary or secondary) is
+//! ever scheduled past the horizon.
+
+use acme_sim_core::dist::{Categorical, Distribution, Exponential};
+use acme_sim_core::{SimDuration, SimRng, SimTime};
+
+use crate::taxonomy::FailureReason;
+
+/// The secondary faults a hardware primary sprays, mirroring the cascade
+/// structure of [`crate::logs::secondary_signatures`].
+pub fn cascade_reasons(primary: FailureReason) -> &'static [FailureReason] {
+    use FailureReason::*;
+    match primary {
+        CudaError | EccError => &[NcclTimeoutError],
+        NvLinkError => &[NcclTimeoutError, CudaError],
+        NodeFailure | NetworkError => &[NcclRemoteError],
+        _ => &[],
+    }
+}
+
+/// One secondary fault inside a cascade.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SecondaryEvent {
+    /// The correlation id of the primary that sprayed this event.
+    pub correlation: u32,
+    /// The secondary symptom.
+    pub reason: FailureReason,
+    /// Delay after the primary strike.
+    pub delay: SimDuration,
+}
+
+/// One storm incident: a primary fault plus its adversarial modifiers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StormEvent {
+    /// When the primary strikes.
+    pub at: SimTime,
+    /// Cascade id, unique per primary within a campaign.
+    pub correlation: u32,
+    /// The node the fault implicates.
+    pub node: u32,
+    /// Root cause of the primary.
+    pub reason: FailureReason,
+    /// Correlated secondary symptoms (same correlation id).
+    pub secondaries: Vec<SecondaryEvent>,
+    /// The implicated node re-fails right after every restart until it is
+    /// cordoned or physically replaced.
+    pub flapping: bool,
+    /// The newest assumed-durable checkpoint is unreadable on load.
+    pub corrupt_checkpoint: bool,
+    /// The first restarted attempt comes back wedged (no error raised);
+    /// only a watchdog notices.
+    pub hang_in_recovery: bool,
+}
+
+/// Knobs of the storm generator.
+#[derive(Debug, Clone, Copy)]
+pub struct StormConfig {
+    /// Campaign length.
+    pub horizon: SimDuration,
+    /// Mean spacing between primary faults (Poisson arrivals).
+    pub mean_between: SimDuration,
+    /// Nodes in the fleet.
+    pub fleet_nodes: u32,
+    /// Size of the *hot* subset that attracts flapping faults.
+    pub hot_nodes: u32,
+    /// Probability a hardware primary flaps its node.
+    pub flap_prob: f64,
+    /// Probability the newest checkpoint is corrupt when an incident needs
+    /// it.
+    pub corrupt_prob: f64,
+    /// Probability the first recovery attempt hangs.
+    pub hang_prob: f64,
+}
+
+impl StormConfig {
+    /// The default storm: two weeks of a hostile fortnight — a fault every
+    /// ~6 hours on average, four hot nodes in a 64-node fleet, and a
+    /// healthy dose of flaps, corruption and recovery hangs.
+    pub fn default_storm() -> Self {
+        StormConfig {
+            horizon: SimDuration::from_days(14),
+            mean_between: SimDuration::from_hours(6),
+            fleet_nodes: 64,
+            hot_nodes: 4,
+            flap_prob: 0.35,
+            corrupt_prob: 0.15,
+            hang_prob: 0.10,
+        }
+    }
+
+    /// The default storm stretched to `scale`× the horizon (the
+    /// `repro storm --scale` stress knob).
+    pub fn scaled(scale: u32) -> Self {
+        let mut c = Self::default_storm();
+        c.horizon = c.horizon * scale.max(1) as u64;
+        c
+    }
+}
+
+/// A generated campaign: every event, sorted by strike time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StormCampaign {
+    /// Campaign length.
+    pub horizon: SimDuration,
+    /// Fleet size the storm was generated for.
+    pub fleet_nodes: u32,
+    /// The primaries, sorted by `at`.
+    pub events: Vec<StormEvent>,
+}
+
+impl StormCampaign {
+    /// Total secondary events across all cascades.
+    pub fn secondary_count(&self) -> usize {
+        self.events.iter().map(|e| e.secondaries.len()).sum()
+    }
+
+    /// Number of flapping incidents.
+    pub fn flapping_count(&self) -> usize {
+        self.events.iter().filter(|e| e.flapping).count()
+    }
+
+    /// Number of incidents whose newest checkpoint is corrupt.
+    pub fn corrupt_count(&self) -> usize {
+        self.events.iter().filter(|e| e.corrupt_checkpoint).count()
+    }
+
+    /// Number of incidents whose first recovery attempt hangs.
+    pub fn hang_count(&self) -> usize {
+        self.events.iter().filter(|e| e.hang_in_recovery).count()
+    }
+}
+
+/// The storm generator. A pure function of (config, rng): equal seeds give
+/// byte-identical campaigns.
+#[derive(Debug, Clone)]
+pub struct StormEngine {
+    config: StormConfig,
+}
+
+/// The hostile reason mix: hardware-heavy (so cascades and cordons fire
+/// constantly) with enough framework/script trouble that the human-handoff
+/// path is exercised too. Weights are loosely proportional to the Table-3
+/// pretraining mix, tilted toward the correlated reasons.
+const STORM_MIX: [(FailureReason, f64); 12] = [
+    (FailureReason::CudaError, 12.0),
+    (FailureReason::NvLinkError, 10.0),
+    (FailureReason::EccError, 8.0),
+    (FailureReason::NodeFailure, 8.0),
+    (FailureReason::NetworkError, 6.0),
+    (FailureReason::NcclRemoteError, 5.0),
+    (FailureReason::NcclTimeoutError, 5.0),
+    (FailureReason::ConnectionError, 6.0),
+    (FailureReason::DataloaderKilled, 4.0),
+    (FailureReason::OutOfMemoryError, 3.0),
+    (FailureReason::RuntimeError, 3.0),
+    (FailureReason::AssertionError, 2.0),
+];
+
+impl StormEngine {
+    /// Wrap a config.
+    pub fn new(config: StormConfig) -> Self {
+        assert!(!config.horizon.is_zero(), "horizon must be positive");
+        assert!(!config.mean_between.is_zero(), "MTBF must be positive");
+        assert!(config.fleet_nodes > 0, "fleet cannot be empty");
+        assert!(
+            config.hot_nodes > 0 && config.hot_nodes <= config.fleet_nodes,
+            "hot subset must be a non-empty subset of the fleet"
+        );
+        StormEngine { config }
+    }
+
+    /// The config.
+    pub fn config(&self) -> &StormConfig {
+        &self.config
+    }
+
+    /// Generate one campaign.
+    pub fn generate(&self, rng: &mut SimRng) -> StormCampaign {
+        let c = &self.config;
+        let horizon_secs = c.horizon.as_secs_f64();
+        let arrivals = Exponential::with_mean(c.mean_between.as_secs_f64());
+        let weights: Vec<f64> = STORM_MIX.iter().map(|&(_, w)| w).collect();
+        let picker = Categorical::new(&weights);
+
+        let mut events = Vec::new();
+        let mut t = 0.0;
+        let mut correlation = 0u32;
+        loop {
+            t += arrivals.sample(rng);
+            if t >= horizon_secs {
+                break;
+            }
+            let at = SimTime::from_secs_f64(t);
+            let reason = STORM_MIX[picker.sample_index(rng)].0;
+            let hardware = reason.is_infrastructure()
+                && matches!(
+                    reason,
+                    FailureReason::NvLinkError
+                        | FailureReason::CudaError
+                        | FailureReason::EccError
+                        | FailureReason::NodeFailure
+                        | FailureReason::NetworkError
+                );
+            // Flapping faults concentrate on the hot subset — that is what
+            // makes per-node strike counts worth keeping.
+            let flapping = hardware && rng.chance(c.flap_prob);
+            let node = if flapping {
+                rng.below(c.hot_nodes as u64) as u32
+            } else {
+                rng.below(c.fleet_nodes as u64) as u32
+            };
+            let corrupt_checkpoint = rng.chance(c.corrupt_prob);
+            let hang_in_recovery = rng.chance(c.hang_prob);
+
+            // Cascade: secondaries land seconds after the primary and are
+            // clamped inside the horizon.
+            let mut secondaries = Vec::new();
+            for &sec in cascade_reasons(reason) {
+                let delay_secs = 1.0 + rng.f64() * 29.0;
+                let delay_secs = delay_secs.min((horizon_secs - t).max(0.0));
+                secondaries.push(SecondaryEvent {
+                    correlation,
+                    reason: sec,
+                    delay: SimDuration::from_secs_f64(delay_secs),
+                });
+            }
+
+            events.push(StormEvent {
+                at,
+                correlation,
+                node,
+                reason,
+                secondaries,
+                flapping,
+                corrupt_checkpoint,
+                hang_in_recovery,
+            });
+            correlation += 1;
+        }
+        StormCampaign {
+            horizon: c.horizon,
+            fleet_nodes: c.fleet_nodes,
+            events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn campaign(seed: u64) -> StormCampaign {
+        let mut rng = SimRng::new(seed);
+        StormEngine::new(StormConfig::default_storm()).generate(&mut rng)
+    }
+
+    #[test]
+    fn same_seed_same_storm() {
+        assert_eq!(campaign(42), campaign(42));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(campaign(1), campaign(2));
+    }
+
+    #[test]
+    fn default_storm_is_genuinely_hostile() {
+        let c = campaign(42);
+        assert!(c.events.len() > 30, "only {} events", c.events.len());
+        assert!(c.flapping_count() > 0, "no flapping nodes");
+        assert!(c.corrupt_count() > 0, "no corrupt checkpoints");
+        assert!(c.hang_count() > 0, "no hangs during recovery");
+        assert!(c.secondary_count() > 0, "no cascades");
+    }
+
+    #[test]
+    fn events_sorted_and_inside_horizon() {
+        let c = campaign(7);
+        for w in c.events.windows(2) {
+            assert!(w[1].at >= w[0].at);
+        }
+        for e in &c.events {
+            let end = e.at
+                + e.secondaries
+                    .iter()
+                    .map(|s| s.delay)
+                    .max()
+                    .unwrap_or(SimDuration::ZERO);
+            assert!(end.saturating_since(SimTime::ZERO) <= c.horizon);
+        }
+    }
+
+    #[test]
+    fn secondaries_share_the_primary_correlation_id() {
+        let c = campaign(3);
+        for e in &c.events {
+            for s in &e.secondaries {
+                assert_eq!(s.correlation, e.correlation);
+            }
+        }
+    }
+
+    #[test]
+    fn correlation_ids_unique_per_primary() {
+        let c = campaign(9);
+        let ids: std::collections::BTreeSet<u32> = c.events.iter().map(|e| e.correlation).collect();
+        assert_eq!(ids.len(), c.events.len());
+    }
+
+    #[test]
+    fn flapping_targets_the_hot_subset() {
+        let cfg = StormConfig::default_storm();
+        let c = campaign(11);
+        for e in c.events.iter().filter(|e| e.flapping) {
+            assert!(e.node < cfg.hot_nodes, "flap on cold node {}", e.node);
+        }
+    }
+
+    #[test]
+    fn scaled_storm_stretches_the_horizon() {
+        let c = StormConfig::scaled(4);
+        assert_eq!(c.horizon, SimDuration::from_days(56));
+        let mut rng = SimRng::new(5);
+        let long = StormEngine::new(c).generate(&mut rng);
+        assert!(long.events.len() > campaign(5).events.len() * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "hot subset")]
+    fn rejects_oversized_hot_subset() {
+        let mut c = StormConfig::default_storm();
+        c.hot_nodes = c.fleet_nodes + 1;
+        StormEngine::new(c);
+    }
+}

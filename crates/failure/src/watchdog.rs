@@ -49,6 +49,14 @@ impl Watchdog {
         Self::new(start, SimDuration::from_mins(30))
     }
 
+    /// The tighter watchdog armed *during recovery*: a restarted job that
+    /// produces no iteration within 10 minutes is wedged, and waiting the
+    /// full steady-state timeout would only burn more fleet time. The
+    /// escalation ladder arms this one over each restart window.
+    pub fn recovery(start: SimTime) -> Self {
+        Self::new(start, SimDuration::from_mins(10))
+    }
+
     /// Record a heartbeat: the job reports `iteration` at `now`. Only
     /// *advancing* iterations count as progress — a job re-reporting the
     /// same step is as stuck as a silent one.
@@ -145,6 +153,16 @@ mod tests {
         w.heartbeat(t(41), 2);
         assert_eq!(w.check(t(60)), WatchdogState::Healthy);
         assert!(!w.has_fired());
+    }
+
+    #[test]
+    fn recovery_watchdog_fires_faster_than_standard() {
+        let mut standard = Watchdog::standard(t(0));
+        let mut recovery = Watchdog::recovery(t(0));
+        // At 15 minutes of silence the recovery watchdog has fired, the
+        // steady-state one has not.
+        assert_eq!(standard.check(t(15)), WatchdogState::Healthy);
+        assert_eq!(recovery.check(t(15)), WatchdogState::Stuck);
     }
 
     #[test]

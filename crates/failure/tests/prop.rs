@@ -3,6 +3,7 @@
 use std::collections::BTreeSet;
 
 use acme_failure::compress::{normalize, LogAgent, LogCompressor};
+use acme_failure::storm::{StormConfig, StormEngine};
 use acme_failure::{DiagnosisPipeline, FailureReason, LogBundle, NcclTester};
 use acme_sim_core::SimRng;
 use proptest::prelude::*;
@@ -93,6 +94,48 @@ proptest! {
             prop_assert!(e.gpu_demand >= 1 && e.gpu_demand <= 2048);
             prop_assert!(e.time_to_failure > SimDuration::ZERO);
             prop_assert!(e.at.as_secs_f64() <= days * 86_400.0);
+        }
+    }
+
+    /// The same seed regenerates the same storm, event for event.
+    #[test]
+    fn storm_is_deterministic_in_the_seed(seed in any::<u64>()) {
+        let engine = StormEngine::new(StormConfig::default_storm());
+        let a = engine.generate(&mut SimRng::new(seed));
+        let b = engine.generate(&mut SimRng::new(seed));
+        prop_assert_eq!(a.events, b.events);
+    }
+
+    /// No storm activity — primary or cascade secondary — lands past the
+    /// configured horizon, and events are time-ordered.
+    #[test]
+    fn storm_stays_inside_its_horizon(seed in any::<u64>(), scale in 1u32..6) {
+        let config = StormConfig::scaled(scale);
+        let horizon = config.horizon;
+        let campaign = StormEngine::new(config).generate(&mut SimRng::new(seed));
+        let mut prev = acme_sim_core::SimTime::ZERO;
+        for e in &campaign.events {
+            prop_assert!(e.at >= prev, "events out of order");
+            prev = e.at;
+            prop_assert!(e.at.saturating_since(acme_sim_core::SimTime::ZERO) <= horizon);
+            for s in &e.secondaries {
+                prop_assert!((e.at + s.delay).saturating_since(acme_sim_core::SimTime::ZERO) <= horizon);
+            }
+        }
+    }
+
+    /// Every cascade secondary carries its primary's correlation id, and
+    /// distinct primaries never share one.
+    #[test]
+    fn storm_correlation_ids_bind_cascades(seed in any::<u64>()) {
+        let campaign = StormEngine::new(StormConfig::default_storm())
+            .generate(&mut SimRng::new(seed));
+        let mut seen = BTreeSet::new();
+        for e in &campaign.events {
+            prop_assert!(seen.insert(e.correlation), "duplicate primary correlation id");
+            for s in &e.secondaries {
+                prop_assert_eq!(s.correlation, e.correlation);
+            }
         }
     }
 }
