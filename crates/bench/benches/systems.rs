@@ -55,7 +55,9 @@ fn bench_evaluation(c: &mut Criterion) {
         let storage = acme_cluster::SharedStorage::seren();
         b.iter(|| {
             black_box(
-                run_eval(Scheduler::FullCoordinator, &datasets, 4, &storage, 14.0).makespan_secs,
+                run_eval(Scheduler::FullCoordinator, &datasets, 4, &storage, 14.0)
+                    .unwrap()
+                    .makespan_secs,
             )
         });
     });

@@ -52,5 +52,5 @@ fn report_starts_with_seed_header() {
     let report = full_report(7, 2);
     assert!(report.starts_with("# Acme reproduction — seed 7\n\n"));
     // Every experiment contributes a `### id — title` section.
-    assert_eq!(report.matches("\n### ").count(), 37);
+    assert_eq!(report.matches("\n### ").count(), 38);
 }

@@ -25,13 +25,23 @@ fn fnv1a_64(bytes: &[u8]) -> u64 {
 /// single byte of any pre-existing experiment.
 const GOLDEN_SEED42_DIGEST: u64 = 0xaf5b_e879_f4df_5a65;
 
-/// Digest of the full `render_report(42, repro all)`, `storm` included.
-const GOLDEN_SEED42_FULL_DIGEST: u64 = 0x89fd_d346_f56a_626e;
+/// Digest of `render_report(42, <pre-evalstorm registry>)` — the exact
+/// bytes `repro all --seed 42` produced when `storm` was the last
+/// experiment, before `evalstorm` was appended. Pins down that rebuilding
+/// the evaluation coordinator as a discrete-event simulation moved no byte
+/// of any earlier experiment.
+const GOLDEN_SEED42_PRE_EVALSTORM_DIGEST: u64 = 0x89fd_d346_f56a_626e;
+
+/// Digest of the full `render_report(42, repro all)`, `evalstorm` included.
+const GOLDEN_SEED42_FULL_DIGEST: u64 = 0x5c06_5f6d_e10d_5238;
 
 #[test]
 fn repro_all_seed42_pre_storm_prefix_matches_historical_digest() {
     let selection = acme::experiments::select(&["all".to_string()]).unwrap();
-    let pre_storm: Vec<_> = selection.into_iter().filter(|e| e.id != "storm").collect();
+    let pre_storm: Vec<_> = selection
+        .into_iter()
+        .filter(|e| e.id != "storm" && e.id != "evalstorm")
+        .collect();
     let runs =
         acme::experiments::run_selection(&pre_storm, acme::experiments::RunParams::new(42), 4);
     let report = acme_bench::render_report(42, &runs);
@@ -41,6 +51,26 @@ fn repro_all_seed42_pre_storm_prefix_matches_historical_digest() {
         "seed-42 pre-storm report drifted: digest {digest:#018x}, expected \
          {GOLDEN_SEED42_DIGEST:#018x}. The benign orchestrator (or another change) perturbed a \
          pre-existing experiment. If the change is intentional, update GOLDEN_SEED42_DIGEST."
+    );
+}
+
+#[test]
+fn repro_all_seed42_pre_evalstorm_prefix_matches_historical_digest() {
+    let selection = acme::experiments::select(&["all".to_string()]).unwrap();
+    let pre_evalstorm: Vec<_> = selection
+        .into_iter()
+        .filter(|e| e.id != "evalstorm")
+        .collect();
+    let runs =
+        acme::experiments::run_selection(&pre_evalstorm, acme::experiments::RunParams::new(42), 4);
+    let report = acme_bench::render_report(42, &runs);
+    let digest = fnv1a_64(report.as_bytes());
+    assert_eq!(
+        digest, GOLDEN_SEED42_PRE_EVALSTORM_DIGEST,
+        "seed-42 pre-evalstorm report drifted: digest {digest:#018x}, expected \
+         {GOLDEN_SEED42_PRE_EVALSTORM_DIGEST:#018x}. The event-driven coordinator rewrite (or \
+         another change) perturbed a pre-existing experiment. If the change is intentional, \
+         update GOLDEN_SEED42_PRE_EVALSTORM_DIGEST."
     );
 }
 

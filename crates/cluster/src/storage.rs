@@ -81,6 +81,25 @@ impl SharedStorage {
         size_gb / per_reader
     }
 
+    /// A copy of this storage with the *remote* path degraded by `factor`
+    /// (≥ 1): NIC, backend, and single-stream ceilings all divide by it.
+    /// Node-local shared-memory bandwidth is untouched — degradation models
+    /// a sick network or storage backend, not the node itself. Fault
+    /// windows in the evaluation storm use this to price re-staging a model
+    /// while the storage path is unhealthy.
+    ///
+    /// # Panics
+    /// Panics if `factor < 1`.
+    pub fn degraded(&self, factor: f64) -> SharedStorage {
+        assert!(factor >= 1.0, "degradation factor must be >= 1");
+        SharedStorage {
+            node_nic_gbps: self.node_nic_gbps / factor,
+            backend_gbps: self.backend_gbps / factor,
+            single_stream_gbps: self.single_stream_gbps / factor,
+            local_shm_gbps: self.local_shm_gbps,
+        }
+    }
+
     /// The Figure-16-left series: average per-trial loading speed as the
     /// number of concurrent single-GPU trials grows, packing 8 trials per
     /// node before spilling to the next node. Returns `(total_trials,
@@ -154,6 +173,16 @@ mod tests {
             local < remote / 5.0,
             "local {local:.1}s vs remote {remote:.1}s"
         );
+    }
+
+    #[test]
+    fn degraded_slows_remote_but_not_shm() {
+        let s = SharedStorage::seren();
+        let sick = s.degraded(4.0);
+        assert!(
+            (sick.remote_load_secs(14.0, 1, 1) - 4.0 * s.remote_load_secs(14.0, 1, 1)).abs() < 1e-9
+        );
+        assert_eq!(sick.local_load_secs(14.0, 8), s.local_load_secs(14.0, 8));
     }
 
     #[test]

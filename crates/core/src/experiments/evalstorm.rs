@@ -1,0 +1,141 @@
+//! `evalstorm` — fault-tolerant evaluation campaigns under injected faults.
+//!
+//! The §6.2 trial coordinator is measured fault-free, but Table 3 says
+//! evaluation-style short jobs fail constantly. This experiment drops the
+//! same seeded fault campaign — trial crashes from the Table-3 evaluation
+//! failure mix, a node loss, straggler windows, a degraded-storage window,
+//! flaky metric jobs — on three recovery policies and reports what each
+//! one costs ([`acme_evaluation::faults`]).
+
+use acme_cluster::SharedStorage;
+use acme_evaluation::benchmarks::registry;
+use acme_evaluation::coordinator::{run as run_clean, Scheduler};
+use acme_evaluation::faults::{run_campaign, CampaignPolicy, FaultConfig, FaultPlan};
+use acme_sim_core::SimRng;
+use acme_telemetry::table::{f, pct};
+use acme_telemetry::Table;
+
+use super::RunParams;
+
+/// Nodes in the evaluation fleet (the §6.2 four-node configuration).
+const NODES: u32 = 4;
+/// Checkpoint size: the 7B model's 14 GB of weights.
+const MODEL_GB: f64 = 14.0;
+
+/// `evalstorm` — generate the default fault campaign for the seed (horizon
+/// proportional to the fault-free makespan, which grows with `scale`) and
+/// ablate naive restart vs retry-only vs the full fault-tolerant
+/// coordinator. Deterministic in (seed, scale).
+pub fn evalstorm(p: RunParams) -> String {
+    let storage = SharedStorage::seren();
+    // `--scale` repeats the benchmark registry N×: a campaign over N
+    // checkpoints' worth of datasets. The fault horizon follows the
+    // fault-free makespan automatically.
+    let mut datasets = Vec::new();
+    for _ in 0..p.scale {
+        datasets.extend(registry());
+    }
+
+    let clean = run_clean(
+        Scheduler::FullCoordinator,
+        &datasets,
+        NODES,
+        &storage,
+        MODEL_GB,
+    )
+    .expect("the registry is non-empty and the fleet has nodes");
+    let config = FaultConfig::default_campaign(NODES, clean.makespan_secs);
+    let mut rng = SimRng::new(p.seed).fork(1101);
+    let plan = FaultPlan::generate(&config, &mut rng);
+
+    let mut summary = Table::new(["campaign property", "value"]);
+    summary.row([
+        "dataset shards".to_owned(),
+        format!("{} over {} GPUs", datasets.len(), NODES * 8),
+    ]);
+    summary.row([
+        "fault-free makespan".to_owned(),
+        format!("{} s", f(clean.makespan_secs, 1)),
+    ]);
+    summary.row([
+        "fault horizon".to_owned(),
+        format!("{} s", f(plan.horizon_secs, 1)),
+    ]);
+    summary.row(["trial crashes".to_owned(), plan.crashes.len().to_string()]);
+    summary.row([
+        "node failures".to_owned(),
+        plan.node_failures.len().to_string(),
+    ]);
+    summary.row([
+        "straggler windows".to_owned(),
+        plan.stragglers.len().to_string(),
+    ]);
+    summary.row([
+        "degraded-storage windows".to_owned(),
+        plan.storage_windows.len().to_string(),
+    ]);
+    summary.row([
+        "metric flake probability".to_owned(),
+        pct(plan.metric_flake_prob),
+    ]);
+
+    let mut ablation = Table::new([
+        "recovery policy",
+        "makespan (s)",
+        "inflation",
+        "wasted GPU-s",
+        "redundant loads",
+        "retries",
+        "restarts",
+        "spec copies",
+        "dup results",
+        "coverage",
+    ]);
+    let mut naive_inflation = 0.0;
+    let mut full_inflation = 0.0;
+    let mut naive_wasted = 0.0;
+    let mut full_wasted = 0.0;
+    for policy in CampaignPolicy::ALL {
+        // Every arm replays the *same* plan: the arms differ only by
+        // recovery mechanism, never by the adversity they face.
+        let o = run_campaign(policy, &datasets, NODES, &storage, MODEL_GB, &plan)
+            .expect("the campaign inputs were already validated");
+        let inflation = o.inflation_vs(clean.makespan_secs);
+        match policy {
+            CampaignPolicy::NaiveRestart => {
+                naive_inflation = inflation;
+                naive_wasted = o.wasted_gpu_secs;
+            }
+            CampaignPolicy::FaultTolerant => {
+                full_inflation = inflation;
+                full_wasted = o.wasted_gpu_secs;
+            }
+            CampaignPolicy::RetryOnly => {}
+        }
+        ablation.row([
+            policy.label().to_owned(),
+            f(o.makespan_secs, 1),
+            format!("{}x", f(inflation, 2)),
+            f(o.wasted_gpu_secs, 0),
+            o.redundant_remote_loads.to_string(),
+            o.retries.to_string(),
+            o.campaign_restarts.to_string(),
+            o.speculative_copies.to_string(),
+            o.duplicate_results.to_string(),
+            pct(o.coverage()),
+        ]);
+    }
+
+    format!(
+        "{}{}fault-tolerant evaluation under the same storm: retries with \
+         backoff, dataset-granular completion tracking, speculative \
+         re-execution and elastic re-packing hold makespan inflation to \
+         {}x (naive restart-the-campaign: {}x) and cut wasted GPU-seconds \
+         {}x, with every dataset's metric landing exactly once\n",
+        summary.render(),
+        ablation.render(),
+        f(full_inflation, 2),
+        f(naive_inflation, 2),
+        f(naive_wasted / full_wasted.max(1.0), 1),
+    )
+}

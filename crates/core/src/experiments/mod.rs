@@ -5,6 +5,7 @@
 //! thin dispatcher over [`all`] / [`run`]; `EXPERIMENTS.md` records
 //! paper-vs-measured for each id.
 
+mod evalstorm;
 mod evaluation;
 mod extensions;
 mod failures;
@@ -242,12 +243,18 @@ pub fn all() -> Vec<Experiment> {
             title: "§4.2: tokenized-data caching across checkpoint evaluations",
             run: |p| extensions::cache(p.seed),
         },
-        // Keep `storm` last: the pre-existing registry must stay a stable
-        // prefix so historical `repro all` output is unchanged before it.
+        // Keep the newest experiments last: the pre-existing registry must
+        // stay a stable prefix so historical `repro all` output is
+        // unchanged before them.
         Experiment {
             id: "storm",
             title: "§6.1 stress: fault-storm recovery-policy ablation",
             run: storm::storm,
+        },
+        Experiment {
+            id: "evalstorm",
+            title: "§6.2 stress: fault-tolerant evaluation-campaign ablation",
+            run: evalstorm::evalstorm,
         },
     ]
 }
@@ -291,18 +298,52 @@ mod tests {
     fn registry_covers_every_listed_artifact() {
         let ids: Vec<&str> = all().iter().map(|e| e.id).collect();
         for expected in [
-            "table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-            "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig16l", "fig16r", "fig17",
-            "fig18", "fig19", "fig20", "fig21", "fig22", "ckpt", "diag", "carbon", "data", "loss",
-            "preempt", "pipeline", "thermal", "hpo", "longseq", "lessons", "cache", "storm",
+            "table1",
+            "table2",
+            "table3",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig16l",
+            "fig16r",
+            "fig17",
+            "fig18",
+            "fig19",
+            "fig20",
+            "fig21",
+            "fig22",
+            "ckpt",
+            "diag",
+            "carbon",
+            "data",
+            "loss",
+            "preempt",
+            "pipeline",
+            "thermal",
+            "hpo",
+            "longseq",
+            "lessons",
+            "cache",
+            "storm",
+            "evalstorm",
         ] {
             assert!(ids.contains(&expected), "missing {expected}");
         }
-        assert_eq!(ids.len(), 37);
+        assert_eq!(ids.len(), 38);
         assert_eq!(
             ids.last(),
-            Some(&"storm"),
-            "storm must stay last so the historical registry is a stable prefix"
+            Some(&"evalstorm"),
+            "new experiments append at the end so the historical registry is a stable prefix"
         );
         // Ids unique.
         let set: std::collections::HashSet<_> = ids.iter().collect();
@@ -333,7 +374,7 @@ mod tests {
     #[test]
     fn scale_grows_the_heavy_experiments_only() {
         // The stress knob must actually change the heavy workloads…
-        for id in ["data", "diag", "pipeline", "storm"] {
+        for id in ["data", "diag", "pipeline", "storm", "evalstorm"] {
             let base = run(id, RunParams::new(3)).unwrap();
             let scaled = run(id, RunParams::with_scale(3, 2)).unwrap();
             assert_ne!(base, scaled, "{id} ignored scale");

@@ -320,7 +320,8 @@ impl DevelopmentPipeline {
             4,
             &SharedStorage::seren(),
             14.0,
-        );
+        )
+        .expect("the benchmark registry is non-empty and four nodes is non-zero");
 
         PipelineReport {
             data,

@@ -15,7 +15,10 @@
 //!    consolidated per-GPU trials using known runtimes (longest first),
 //!    with long-CPU-metric datasets prioritized so their tails overlap.
 
+use std::fmt;
+
 use acme_cluster::SharedStorage;
+use acme_sim_core::{EventQueue, SimTime};
 
 use crate::benchmarks::Dataset;
 
@@ -82,62 +85,92 @@ impl EvalRun {
     }
 }
 
-/// Run an evaluation campaign over `nodes` 8-GPU nodes.
+/// Why a campaign could not be scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoordinatorError {
+    /// The dataset list was empty — there is nothing to evaluate.
+    EmptyDatasets,
+    /// Zero nodes were offered — there is nowhere to evaluate.
+    ZeroNodes,
+}
+
+impl fmt::Display for CoordinatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoordinatorError::EmptyDatasets => write!(f, "no datasets to evaluate"),
+            CoordinatorError::ZeroNodes => write!(f, "need at least one node"),
+        }
+    }
+}
+
+impl std::error::Error for CoordinatorError {}
+
+/// The planned work-item order: whole datasets, or — under prior-based
+/// elastic scheduling — shards of the large ones ("we can also break down
+/// large datasets", §6.2), sized so no single piece dominates a GPU.
+pub(crate) fn plan_order(scheduler: Scheduler, datasets: &[Dataset], gpus: u32) -> Vec<Dataset> {
+    if !scheduler.prior_packing() {
+        return datasets.to_vec();
+    }
+    let total_work: f64 = datasets.iter().map(|d| d.decoupled_gpu_secs()).sum();
+    let target_piece = (total_work / gpus as f64 * 0.5).max(120.0);
+    let mut order: Vec<Dataset> = datasets
+        .iter()
+        .flat_map(|d| {
+            let k = (d.decoupled_gpu_secs() / target_piece).ceil().max(1.0) as u32;
+            let kf = k as f64;
+            (0..k).map(move |_| Dataset {
+                preprocess_secs: d.preprocess_secs / kf,
+                inference_secs: d.inference_secs / kf,
+                metric_secs: d.metric_secs / kf,
+                ..*d
+            })
+        })
+        .collect();
+    // Prior-based: longest CPU metric first (so tails overlap), then
+    // longest GPU work first (LPT balancing).
+    order.sort_by(|a, b| {
+        b.metric_secs
+            .total_cmp(&a.metric_secs)
+            .then(b.decoupled_gpu_secs().total_cmp(&a.decoupled_gpu_secs()))
+    });
+    order
+}
+
+/// Run a fault-free evaluation campaign over `nodes` 8-GPU nodes.
 ///
-/// # Panics
-/// Panics on an empty dataset list or zero nodes.
+/// The campaign is a discrete-event simulation on [`EventQueue`]: every GPU
+/// emits a "free" event, the earliest free GPU pulls the next work item,
+/// and simultaneous frees dispatch in ascending GPU order. Instants are the
+/// exact `f64` second values (via [`SimTime::from_ordered_secs_f64`]), so
+/// the schedule — and therefore the output — is identical to the closed-form
+/// greedy list schedule this replaced, down to the last bit.
 pub fn run(
     scheduler: Scheduler,
     datasets: &[Dataset],
     nodes: u32,
     storage: &SharedStorage,
     model_gb: f64,
-) -> EvalRun {
-    assert!(!datasets.is_empty(), "no datasets to evaluate");
-    assert!(nodes > 0, "need at least one node");
-    let gpus = nodes * 8;
-
-    // Work items: whole datasets, or — under prior-based elastic
-    // scheduling — shards of the large ones ("we can also break down large
-    // datasets", §6.2), sized so no single piece dominates a GPU.
-    let mut order: Vec<Dataset> = datasets.to_vec();
-    if scheduler.prior_packing() {
-        let total_work: f64 = datasets.iter().map(|d| d.decoupled_gpu_secs()).sum();
-        let target_piece = (total_work / gpus as f64 * 0.5).max(120.0);
-        order = datasets
-            .iter()
-            .flat_map(|d| {
-                let k = (d.decoupled_gpu_secs() / target_piece).ceil().max(1.0) as u32;
-                let kf = k as f64;
-                (0..k).map(move |_| Dataset {
-                    preprocess_secs: d.preprocess_secs / kf,
-                    inference_secs: d.inference_secs / kf,
-                    metric_secs: d.metric_secs / kf,
-                    ..*d
-                })
-            })
-            .collect();
-        // Prior-based: longest CPU metric first (so tails overlap), then
-        // longest GPU work first (LPT balancing).
-        order.sort_by(|a, b| {
-            b.metric_secs
-                .total_cmp(&a.metric_secs)
-                .then(b.decoupled_gpu_secs().total_cmp(&a.decoupled_gpu_secs()))
-        });
+) -> Result<EvalRun, CoordinatorError> {
+    if datasets.is_empty() {
+        return Err(CoordinatorError::EmptyDatasets);
     }
+    if nodes == 0 {
+        return Err(CoordinatorError::ZeroNodes);
+    }
+    let gpus = nodes * 8;
+    let order = plan_order(scheduler, datasets, gpus);
 
     // Model acquisition cost per trial.
     let remote_contended = storage.remote_load_secs(model_gb, 8.min(gpus), nodes);
     let shm_load = storage.local_load_secs(model_gb, 8.min(gpus));
     let precursor = storage.remote_load_secs(model_gb, 1, nodes);
 
-    // Greedy earliest-available-GPU list scheduling.
     let start_at = if scheduler.staged_loading() {
         precursor
     } else {
         0.0
     };
-    let mut gpu_free = vec![start_at; gpus as usize];
     let mut gpu_loaded = vec![false; gpus as usize];
     let mut gpu_busy = 0.0;
     let mut remote_loads = if scheduler.staged_loading() {
@@ -148,60 +181,82 @@ pub fn run(
     let mut last_metric_done: f64 = 0.0;
     let mut last_gpu_done: f64 = 0.0;
 
-    for d in &order {
-        // Earliest-available GPU.
-        let (g, _) = gpu_free
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.total_cmp(b.1))
-            .unwrap();
-        let mut t = gpu_free[g];
-
-        // Loading: consolidated trials load once per GPU; separate trials
-        // load every time.
-        let load = if scheduler.staged_loading() {
-            if scheduler.prior_packing() && gpu_loaded[g] {
-                0.0 // consolidated into the running trial
-            } else {
-                gpu_loaded[g] = true;
-                shm_load
-            }
-        } else {
-            remote_loads += 1;
-            remote_contended
-        };
-
-        let gpu_work = load
-            + d.preprocess_secs
-            + d.inference_secs
-            + if scheduler.decoupled_metrics() {
-                0.0
-            } else {
-                d.metric_secs
-            };
-        t += gpu_work;
-        gpu_busy += gpu_work;
-        gpu_free[g] = t;
-        last_gpu_done = last_gpu_done.max(t);
-        let metric_done = if scheduler.decoupled_metrics() {
-            t + d.metric_secs // CPU job, off the GPU
-        } else {
-            t
-        };
-        last_metric_done = last_metric_done.max(metric_done);
+    // Event payload: the GPU that just became free.
+    let mut queue: EventQueue<u32> = EventQueue::with_capacity(gpus as usize);
+    for g in 0..gpus {
+        queue.schedule(SimTime::from_ordered_secs_f64(start_at), g);
     }
 
-    EvalRun {
+    let mut pending = order.iter();
+    while let Some((at, first)) = queue.pop() {
+        // Drain every GPU freed at this exact instant and dispatch in
+        // ascending GPU order — the earliest-available-GPU rule with
+        // lowest-index tie-breaking. Work items always take strictly
+        // positive time, so nothing dispatched here frees at `at` again.
+        let mut freed = vec![first];
+        while queue.peek_time() == Some(at) {
+            freed.push(queue.pop().expect("peeked event must pop").1);
+        }
+        freed.sort_unstable();
+        let now = at.as_ordered_secs_f64();
+        for g in freed {
+            let Some(d) = pending.next() else { continue };
+            // Loading: consolidated trials load once per GPU; separate
+            // trials load every time.
+            let load = if scheduler.staged_loading() {
+                if scheduler.prior_packing() && gpu_loaded[g as usize] {
+                    0.0 // consolidated into the running trial
+                } else {
+                    gpu_loaded[g as usize] = true;
+                    shm_load
+                }
+            } else {
+                remote_loads += 1;
+                remote_contended
+            };
+
+            let gpu_work = load
+                + d.preprocess_secs
+                + d.inference_secs
+                + if scheduler.decoupled_metrics() {
+                    0.0
+                } else {
+                    d.metric_secs
+                };
+            let t = now + gpu_work;
+            gpu_busy += gpu_work;
+            last_gpu_done = last_gpu_done.max(t);
+            let metric_done = if scheduler.decoupled_metrics() {
+                t + d.metric_secs // CPU job, off the GPU
+            } else {
+                t
+            };
+            last_metric_done = last_metric_done.max(metric_done);
+            queue.schedule(SimTime::from_ordered_secs_f64(t), g);
+        }
+    }
+
+    Ok(EvalRun {
         makespan_secs: last_gpu_done.max(last_metric_done),
         gpu_busy_secs: gpu_busy,
         remote_loads,
         gpus,
-    }
+    })
 }
 
 /// Convenience: the §6.2 experiment — all four schedulers at `nodes` nodes
 /// over the full 63-dataset suite with a 7B model (14 GB of weights).
 pub fn section62_experiment(nodes: u32) -> Vec<(Scheduler, EvalRun)> {
+    section62_experiment_with_model(nodes, 14.0)
+}
+
+/// The §6.2 sweep with an explicit checkpoint size in GB — the paper's 7B
+/// run ships 14 GB of weights ([`section62_experiment`]), but the campaign
+/// shape holds for any size.
+///
+/// # Panics
+/// Panics if `nodes == 0`: the §6.2 sweep is defined over at least one node.
+pub fn section62_experiment_with_model(nodes: u32, model_gb: f64) -> Vec<(Scheduler, EvalRun)> {
     let datasets = crate::benchmarks::registry();
     let storage = SharedStorage::seren();
     [
@@ -211,7 +266,11 @@ pub fn section62_experiment(nodes: u32) -> Vec<(Scheduler, EvalRun)> {
         Scheduler::FullCoordinator,
     ]
     .into_iter()
-    .map(|s| (s, run(s, &datasets, nodes, &storage, 14.0)))
+    .map(|s| {
+        let outcome = run(s, &datasets, nodes, &storage, model_gb)
+            .expect("the registry is non-empty, so only zero nodes can fail here");
+        (s, outcome)
+    })
     .collect()
 }
 
@@ -221,7 +280,37 @@ mod tests {
     use crate::benchmarks::registry;
 
     fn makespan(s: Scheduler, nodes: u32) -> f64 {
-        run(s, &registry(), nodes, &SharedStorage::seren(), 14.0).makespan_secs
+        run(s, &registry(), nodes, &SharedStorage::seren(), 14.0)
+            .unwrap()
+            .makespan_secs
+    }
+
+    #[test]
+    fn empty_datasets_is_a_structured_error() {
+        let err = run(
+            Scheduler::FullCoordinator,
+            &[],
+            1,
+            &SharedStorage::seren(),
+            14.0,
+        )
+        .unwrap_err();
+        assert_eq!(err, CoordinatorError::EmptyDatasets);
+        assert_eq!(err.to_string(), "no datasets to evaluate");
+    }
+
+    #[test]
+    fn zero_nodes_is_a_structured_error() {
+        let err = run(
+            Scheduler::Baseline,
+            &registry(),
+            0,
+            &SharedStorage::seren(),
+            14.0,
+        )
+        .unwrap_err();
+        assert_eq!(err, CoordinatorError::ZeroNodes);
+        assert_eq!(err.to_string(), "need at least one node");
     }
 
     #[test]
@@ -258,14 +347,16 @@ mod tests {
             4,
             &SharedStorage::seren(),
             14.0,
-        );
+        )
+        .unwrap();
         let full = run(
             Scheduler::FullCoordinator,
             &registry(),
             4,
             &SharedStorage::seren(),
             14.0,
-        );
+        )
+        .unwrap();
         assert_eq!(base.remote_loads, 63);
         // One precursor per node.
         assert_eq!(full.remote_loads, 4);
@@ -279,14 +370,16 @@ mod tests {
             1,
             &SharedStorage::seren(),
             14.0,
-        );
+        )
+        .unwrap();
         let full = run(
             Scheduler::FullCoordinator,
             &registry(),
             1,
             &SharedStorage::seren(),
             14.0,
-        );
+        )
+        .unwrap();
         // Decoupling strips idle stages off the GPU, so the busy seconds
         // drop while the makespan drops too.
         assert!(full.gpu_busy_secs < base.gpu_busy_secs);
@@ -310,7 +403,8 @@ mod tests {
             1,
             &SharedStorage::seren(),
             14.0,
-        );
+        )
+        .unwrap();
         assert!(r.makespan_secs > 0.0);
         assert_eq!(r.remote_loads, 1);
         assert_eq!(r.gpus, 8);

@@ -14,16 +14,25 @@
 //! * [`coordinator`] — the baseline one-dataset-per-trial scheduler and
 //!   the trial coordinator with decoupled model loading, decoupled metric
 //!   computation and prior-based elastic packing, reproducing the
-//!   1.3× / 1.8× makespan reductions of §6.2.
+//!   1.3× / 1.8× makespan reductions of §6.2;
+//! * [`faults`] — deterministic fault injection for campaigns (the Table-3
+//!   evaluation failure mix, node losses, stragglers, degraded storage,
+//!   flaky metric jobs) and the fault-tolerant coordinator that retries,
+//!   tracks per-dataset completion, speculates on stragglers and
+//!   elastically re-packs stranded work.
 
 #![warn(missing_docs)]
 
 pub mod benchmarks;
 pub mod cache;
 pub mod coordinator;
+pub mod faults;
 pub mod trial;
 
 pub use benchmarks::{registry, Dataset, MetricKind};
 pub use cache::TokenCache;
-pub use coordinator::{EvalRun, Scheduler};
+pub use coordinator::{CoordinatorError, EvalRun, Scheduler};
+pub use faults::{
+    run_campaign, CampaignOutcome, CampaignPolicy, FaultConfig, FaultPlan, FaultTolerantCoordinator,
+};
 pub use trial::{StageKind, TrialProfile};

@@ -3,7 +3,9 @@
 use acme_cluster::SharedStorage;
 use acme_evaluation::benchmarks::registry;
 use acme_evaluation::coordinator::{run, Scheduler};
+use acme_evaluation::faults::{run_campaign, CampaignPolicy, FaultConfig, FaultPlan};
 use acme_evaluation::trial::TrialProfile;
+use acme_sim_core::SimRng;
 use proptest::prelude::*;
 
 proptest! {
@@ -15,11 +17,11 @@ proptest! {
     fn makespan_sane(nodes in 1u32..12, subset in 1usize..63) {
         let datasets: Vec<_> = registry().into_iter().take(subset).collect();
         let storage = SharedStorage::seren();
-        let base = run(Scheduler::Baseline, &datasets, nodes, &storage, 14.0);
-        let full = run(Scheduler::FullCoordinator, &datasets, nodes, &storage, 14.0);
+        let base = run(Scheduler::Baseline, &datasets, nodes, &storage, 14.0).unwrap();
+        let full = run(Scheduler::FullCoordinator, &datasets, nodes, &storage, 14.0).unwrap();
         prop_assert!(base.makespan_secs > 0.0);
         prop_assert!(full.makespan_secs <= base.makespan_secs + 1e-6);
-        let more = run(Scheduler::Baseline, &datasets, nodes + 1, &storage, 14.0);
+        let more = run(Scheduler::Baseline, &datasets, nodes + 1, &storage, 14.0).unwrap();
         prop_assert!(more.makespan_secs <= base.makespan_secs + 1e-6);
     }
 
@@ -30,13 +32,13 @@ proptest! {
         let datasets = registry();
         let storage = SharedStorage::seren();
         for s in [Scheduler::Baseline, Scheduler::DecoupledLoadingOnly, Scheduler::DecoupledMetricsOnly, Scheduler::FullCoordinator] {
-            let out = run(s, &datasets, nodes, &storage, 14.0);
+            let out = run(s, &datasets, nodes, &storage, 14.0).unwrap();
             let occ = out.gpu_occupancy();
             prop_assert!(occ > 0.0 && occ <= 1.0 + 1e-9, "{s:?} occupancy {occ}");
         }
-        let full = run(Scheduler::FullCoordinator, &datasets, nodes, &storage, 14.0);
+        let full = run(Scheduler::FullCoordinator, &datasets, nodes, &storage, 14.0).unwrap();
         prop_assert_eq!(full.remote_loads, nodes as usize);
-        let base = run(Scheduler::Baseline, &datasets, nodes, &storage, 14.0);
+        let base = run(Scheduler::Baseline, &datasets, nodes, &storage, 14.0).unwrap();
         prop_assert_eq!(base.remote_loads, datasets.len());
     }
 
@@ -52,5 +54,63 @@ proptest! {
         prop_assert!((total - coupled.total_secs()).abs() < 1e-9);
         prop_assert!(decoupled.total_secs() <= coupled.total_secs() + 1e-9);
         prop_assert!(coupled.gpu_idle_fraction() > 0.0 && coupled.gpu_idle_fraction() < 1.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The fault layer is a pure function of the seed: equal seeds give
+    /// byte-identical fault schedules; unequal seeds (almost) never do.
+    #[test]
+    fn same_seed_same_fault_schedule(seed in 0u64..1_000_000, nodes in 2u32..6) {
+        let config = FaultConfig::default_campaign(nodes, 400.0);
+        let a = FaultPlan::generate(&config, &mut SimRng::new(seed).fork(1101));
+        let b = FaultPlan::generate(&config, &mut SimRng::new(seed).fork(1101));
+        prop_assert_eq!(a, b);
+    }
+
+    /// The coverage invariant: no matter how crashes, node losses and
+    /// speculative copies interleave, every dataset shard's metric lands
+    /// exactly once under every recovery policy — nothing lost, nothing
+    /// double-counted.
+    #[test]
+    fn every_dataset_lands_exactly_once(seed in 0u64..10_000, nodes in 2u32..5) {
+        let datasets = registry();
+        let storage = SharedStorage::seren();
+        let clean = run(Scheduler::FullCoordinator, &datasets, nodes, &storage, 14.0)
+            .unwrap()
+            .makespan_secs;
+        let config = FaultConfig::default_campaign(nodes, clean);
+        let plan = FaultPlan::generate(&config, &mut SimRng::new(seed).fork(1101));
+        for policy in CampaignPolicy::ALL {
+            let o = run_campaign(policy, &datasets, nodes, &storage, 14.0, &plan).unwrap();
+            prop_assert_eq!(
+                o.items_landed_once, o.items_expected,
+                "{:?} lost or double-counted results at seed {}", policy, seed
+            );
+        }
+    }
+
+    /// Faults never make a campaign finish *earlier* than the fault-free
+    /// reference (the schedule is anomaly-free: injected adversity only
+    /// adds work and delay).
+    #[test]
+    fn faults_never_speed_up_the_campaign(seed in 0u64..10_000, nodes in 2u32..5) {
+        let datasets = registry();
+        let storage = SharedStorage::seren();
+        let clean = run(Scheduler::FullCoordinator, &datasets, nodes, &storage, 14.0)
+            .unwrap()
+            .makespan_secs;
+        let config = FaultConfig::default_campaign(nodes, clean);
+        let plan = FaultPlan::generate(&config, &mut SimRng::new(seed).fork(1101));
+        for policy in CampaignPolicy::ALL {
+            let o = run_campaign(policy, &datasets, nodes, &storage, 14.0, &plan).unwrap();
+            prop_assert!(
+                o.makespan_secs >= clean - 1e-9,
+                "{:?} at seed {} finished in {} < fault-free {}",
+                policy, seed, o.makespan_secs, clean
+            );
+        }
     }
 }

@@ -82,6 +82,19 @@ impl RetryPolicy {
         }
     }
 
+    /// The evaluation-campaign ladder: trials are minutes long, so the
+    /// backoff runs in seconds (10 s doubling to 160 s) with a one-hour
+    /// window and four identical crashes tolerated before the coordinator
+    /// escalates (migrates the work instead of retrying in place).
+    pub fn evaluation() -> Self {
+        RetryPolicy {
+            budget: 4,
+            backoff_base: SimDuration::from_secs(10),
+            backoff_cap: SimDuration::from_secs(160),
+            window: SimDuration::from_hours(1),
+        }
+    }
+
     /// Backoff before attempt `attempt` (1-based; the first attempt never
     /// waits).
     pub fn backoff(&self, attempt: u32) -> SimDuration {

@@ -44,6 +44,28 @@ impl SimTime {
         SimTime((s * 1e6).round() as u64)
     }
 
+    /// Order-preserving encoding of non-negative floating-point seconds.
+    ///
+    /// Rounding to microseconds can merge two distinct `f64` instants and
+    /// silently flip a tie-break. For non-negative finite floats the
+    /// IEEE-754 bit pattern is strictly monotone, so storing the raw bits
+    /// as the payload yields a `SimTime` whose ordering matches the float
+    /// ordering *exactly*. The absolute microsecond value is meaningless
+    /// under this encoding — only comparisons are; decode with
+    /// [`SimTime::as_ordered_secs_f64`].
+    pub fn from_ordered_secs_f64(s: f64) -> Self {
+        debug_assert!(
+            s >= 0.0 && s.is_finite(),
+            "ordered encoding requires non-negative finite seconds"
+        );
+        SimTime(s.to_bits())
+    }
+
+    /// Decode a [`SimTime::from_ordered_secs_f64`] instant back to seconds.
+    pub fn as_ordered_secs_f64(self) -> f64 {
+        f64::from_bits(self.0)
+    }
+
     /// Raw microseconds since t = 0.
     pub const fn as_micros(self) -> u64 {
         self.0
@@ -316,6 +338,26 @@ mod tests {
         assert_eq!(SimDuration::from_mins(30).to_string(), "30.0min");
         assert_eq!(SimDuration::from_hours(20).to_string(), "20.0h");
         assert_eq!(SimDuration::from_days(3).to_string(), "3.0d");
+    }
+
+    #[test]
+    fn ordered_encoding_round_trips_and_preserves_order() {
+        let samples = [0.0, 1e-300, 0.1, 1.0, 1.0 + f64::EPSILON, 7.25, 1e12];
+        for w in samples.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let (ta, tb) = (
+                SimTime::from_ordered_secs_f64(a),
+                SimTime::from_ordered_secs_f64(b),
+            );
+            assert!(ta < tb, "{a} vs {b}");
+            assert_eq!(ta.as_ordered_secs_f64(), a);
+            assert_eq!(tb.as_ordered_secs_f64(), b);
+        }
+        // Equal floats encode equal — ties stay ties.
+        assert_eq!(
+            SimTime::from_ordered_secs_f64(2.5),
+            SimTime::from_ordered_secs_f64(2.5)
+        );
     }
 
     #[test]

@@ -85,8 +85,12 @@ fn headline_evaluation_makespan() {
     let datasets = registry();
     let storage = SharedStorage::seren();
     let ratio = |nodes| {
-        run_eval(Scheduler::Baseline, &datasets, nodes, &storage, 14.0).makespan_secs
-            / run_eval(Scheduler::FullCoordinator, &datasets, nodes, &storage, 14.0).makespan_secs
+        run_eval(Scheduler::Baseline, &datasets, nodes, &storage, 14.0)
+            .unwrap()
+            .makespan_secs
+            / run_eval(Scheduler::FullCoordinator, &datasets, nodes, &storage, 14.0)
+                .unwrap()
+                .makespan_secs
     };
     let r1 = ratio(1);
     let r4 = ratio(4);
