@@ -20,8 +20,9 @@
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-/// Regressions smaller than this many milliseconds are ignored outright —
-/// timer noise, not signal.
+/// Default for `--noise-floor`: regressions smaller than this many
+/// milliseconds are ignored outright — timer noise, not signal. Dumps made
+/// of sub-millisecond kernels (the event-queue hold bench) lower it.
 const NOISE_FLOOR_MS: f64 = 1.0;
 
 /// Extract `(id, ms)` pairs from a timings dump. Tolerant of whitespace
@@ -33,6 +34,12 @@ fn parse_timings(json: &str) -> Result<BTreeMap<String, f64>, String> {
         .split_once("\"experiments\"")
         .ok_or("no \"experiments\" key")?
         .1;
+    // Stop at the experiments array's closing bracket: later sections of
+    // the dump (the per-shard timings) hold objects without an `id` key.
+    let body = match body.find(']') {
+        Some(end) => &body[..end],
+        None => body,
+    };
     // Each experiment object is `{...}`; scan object by object.
     let mut rest = body;
     while let Some(open) = rest.find('{') {
@@ -74,10 +81,12 @@ struct Args {
     baseline: String,
     current: String,
     factor: f64,
+    noise_floor_ms: f64,
 }
 
 fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
     let (mut baseline, mut current, mut factor) = (None, None, 2.0f64);
+    let mut noise_floor_ms = NOISE_FLOOR_MS;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--baseline" => baseline = Some(args.next().ok_or("--baseline needs a path")?),
@@ -89,6 +98,13 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
                     return Err("--factor must be >= 1.0".into());
                 }
             }
+            "--noise-floor" => {
+                let v = args.next().ok_or("--noise-floor needs a value (ms)")?;
+                noise_floor_ms = v.parse().map_err(|_| format!("bad noise floor: {v}"))?;
+                if noise_floor_ms.is_nan() || noise_floor_ms < 0.0 {
+                    return Err("--noise-floor must be >= 0".into());
+                }
+            }
             other => return Err(format!("unknown argument: {other}")),
         }
     }
@@ -96,6 +112,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
         baseline: baseline.ok_or("--baseline is required")?,
         current: current.ok_or("--current is required")?,
         factor,
+        noise_floor_ms,
     })
 }
 
@@ -116,13 +133,14 @@ fn regressions(
     baseline: &BTreeMap<String, f64>,
     current: &BTreeMap<String, f64>,
     factor: f64,
+    noise_floor_ms: f64,
 ) -> Vec<(String, f64, f64)> {
     let mut bad = Vec::new();
     for (id, &base_ms) in baseline {
         let Some(&cur_ms) = current.get(id) else {
             continue; // experiment removed/renamed: not a perf regression
         };
-        if cur_ms > base_ms * factor && cur_ms - base_ms > NOISE_FLOOR_MS {
+        if cur_ms > base_ms * factor && cur_ms - base_ms > noise_floor_ms {
             bad.push((id.clone(), base_ms, cur_ms));
         }
     }
@@ -134,7 +152,9 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: bench_guard --baseline PATH --current PATH [--factor F]");
+            eprintln!(
+                "usage: bench_guard --baseline PATH --current PATH [--factor F] [--noise-floor MS]"
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -161,7 +181,7 @@ fn main() -> ExitCode {
         );
     }
 
-    let bad = regressions(&baseline, &current, args.factor);
+    let bad = regressions(&baseline, &current, args.factor, args.noise_floor_ms);
     if bad.is_empty() {
         println!(
             "bench_guard: {} experiment(s) within {}x of baseline",
@@ -191,6 +211,9 @@ mod tests {
   "experiments": [
     {"id": "fig2", "ms": 10.000},
     {"id": "data", "ms": 50.250}
+  ],
+  "shards": [
+    {"experiment": "data", "shard": "loader/on-the-fly", "ms": 24.000}
   ]
 }
 "#;
@@ -201,6 +224,17 @@ mod tests {
         assert_eq!(t.len(), 2);
         assert_eq!(t["fig2"], 10.0);
         assert_eq!(t["data"], 50.25);
+    }
+
+    #[test]
+    fn shard_section_is_ignored() {
+        // The per-shard section has id-less objects; the scan must stop at
+        // the experiments array rather than choke on them.
+        let t = parse_timings(SAMPLE).unwrap();
+        assert!(!t.contains_key("loader/on-the-fly"));
+        // And a dump without the section still parses.
+        let legacy = SAMPLE.split(",\n  \"shards\"").next().unwrap().to_owned() + "\n}\n";
+        assert_eq!(parse_timings(&legacy).unwrap().len(), 2);
     }
 
     #[test]
@@ -215,10 +249,10 @@ mod tests {
         let mut cur = base.clone();
         // Within factor: fine.
         cur.insert("data".into(), 90.0);
-        assert!(regressions(&base, &cur, 2.0).is_empty());
+        assert!(regressions(&base, &cur, 2.0, NOISE_FLOOR_MS).is_empty());
         // Past factor: flagged.
         cur.insert("data".into(), 120.0);
-        let bad = regressions(&base, &cur, 2.0);
+        let bad = regressions(&base, &cur, 2.0, NOISE_FLOOR_MS);
         assert_eq!(bad.len(), 1);
         assert_eq!(bad[0].0, "data");
     }
@@ -230,14 +264,16 @@ mod tests {
         let mut cur = BTreeMap::new();
         // 5x "regression" but only 0.8 ms of it: ignored.
         cur.insert("tiny".to_string(), 1.0);
-        assert!(regressions(&base, &cur, 2.0).is_empty());
+        assert!(regressions(&base, &cur, 2.0, NOISE_FLOOR_MS).is_empty());
+        // A lowered floor (sub-millisecond kernel dumps) does flag it.
+        assert_eq!(regressions(&base, &cur, 2.0, 0.001).len(), 1);
     }
 
     #[test]
     fn missing_current_entry_is_not_a_regression() {
         let base = parse_timings(SAMPLE).unwrap();
         let cur = BTreeMap::new();
-        assert!(regressions(&base, &cur, 2.0).is_empty());
+        assert!(regressions(&base, &cur, 2.0, NOISE_FLOOR_MS).is_empty());
     }
 
     #[test]
@@ -248,7 +284,7 @@ mod tests {
         // Not in the baseline: surfaced by name…
         assert_eq!(unbaselined(&base, &cur), vec!["storm".to_string()]);
         // …but never counted as a regression, however slow it is.
-        assert!(regressions(&base, &cur, 2.0).is_empty());
+        assert!(regressions(&base, &cur, 2.0, NOISE_FLOOR_MS).is_empty());
         // Established ids don't show up as new.
         assert!(unbaselined(&base, &base).is_empty());
     }
@@ -262,6 +298,27 @@ mod tests {
         )
         .unwrap();
         assert_eq!(ok.factor, 3.0);
+        assert_eq!(ok.noise_floor_ms, NOISE_FLOOR_MS);
+        let floored = parse_args(
+            [
+                "--baseline",
+                "a",
+                "--current",
+                "b",
+                "--noise-floor",
+                "0.001",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(floored.noise_floor_ms, 0.001);
+        assert!(parse_args(
+            ["--baseline", "a", "--current", "b", "--noise-floor", "-1"]
+                .iter()
+                .map(|s| s.to_string())
+        )
+        .is_err());
         assert!(parse_args(["--baseline", "a"].iter().map(|s| s.to_string())).is_err());
         assert!(parse_args(
             ["--baseline", "a", "--current", "b", "--factor", "0.5"]

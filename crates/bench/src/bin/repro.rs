@@ -47,10 +47,11 @@ fn main() -> ExitCode {
         }
     };
 
-    let jobs = args
-        .jobs
-        .unwrap_or_else(acme::experiments::default_jobs)
-        .min(selection.len().max(1));
+    let requested_jobs = args.jobs.unwrap_or_else(acme::experiments::default_jobs);
+    let jobs = requested_jobs.min(selection.len().max(1));
+    // Sharded experiments fan out internally on the same budget, so a
+    // small selection still uses every requested worker.
+    acme::experiments::set_workers(requested_jobs);
     let params = acme::experiments::RunParams::with_scale(args.seed, args.scale);
     let started = Instant::now();
     let runs = acme::experiments::run_selection(&selection, params, jobs);

@@ -142,8 +142,12 @@ pub fn render_timings(runs: &[ExperimentRun], jobs: usize, elapsed: std::time::D
 }
 
 /// Machine-readable timing dump (hand-rolled JSON; no serde in-tree).
-/// Schema: `{seed, jobs, wall_ms, experiments: [{id, ms}, ...]}` with
-/// experiments in selection order.
+/// Schema: `{seed, jobs, wall_ms, experiments: [{id, ms}, ...],
+/// shards: [{experiment, shard, ms}, ...]}` with experiments in selection
+/// order and shards in per-experiment execution order. The flat `shards`
+/// section comes *after* the experiments array, so scanners that stop at
+/// the array's closing bracket (the `bench_guard` parser) are unaffected;
+/// its objects deliberately carry no `id` key.
 pub fn render_timings_json(
     seed: u64,
     runs: &[ExperimentRun],
@@ -167,6 +171,20 @@ pub fn render_timings_json(
             run.wall.as_secs_f64() * 1e3
         ));
     }
+    out.push_str("  ],\n");
+    out.push_str("  \"shards\": [\n");
+    let shard_rows: Vec<(&str, &acme::experiments::ShardTiming)> = runs
+        .iter()
+        .flat_map(|r| r.shards.iter().map(move |s| (r.id, s)))
+        .collect();
+    for (i, (id, s)) in shard_rows.iter().enumerate() {
+        let comma = if i + 1 == shard_rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"experiment\": \"{id}\", \"shard\": \"{}\", \"ms\": {:.3}}}{comma}\n",
+            s.label,
+            s.wall.as_secs_f64() * 1e3
+        ));
+    }
     out.push_str("  ]\n}\n");
     out
 }
@@ -187,6 +205,7 @@ mod tests {
             output: format!("### {id} — t\nrow"),
             wall: Duration::from_millis(ms),
             failed: false,
+            shards: Vec::new(),
         }
     }
 
@@ -278,9 +297,36 @@ mod tests {
         assert!(j.contains("\"jobs\": 8"));
         assert!(j.contains("{\"id\": \"x\", \"ms\": 3.000},"));
         assert!(j.contains("{\"id\": \"y\", \"ms\": 4.000}\n"));
+        // Unsharded runs still emit the (empty) shards section.
+        assert!(j.contains("\"shards\": [\n  ]"));
         // Crude but effective: balanced braces/brackets, trailing newline.
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
         assert!(j.ends_with("}\n"));
+    }
+
+    #[test]
+    fn timings_json_reports_shards_after_experiments() {
+        let mut sharded = fake_run("diag", 9);
+        sharded.shards = vec![
+            acme::experiments::ShardTiming {
+                label: "nccl/0".to_owned(),
+                wall: Duration::from_millis(2),
+            },
+            acme::experiments::ShardTiming {
+                label: "nccl/1".to_owned(),
+                wall: Duration::from_millis(3),
+            },
+        ];
+        let runs = [fake_run("x", 3), sharded];
+        let j = render_timings_json(7, &runs, 2, Duration::from_millis(12));
+        assert!(j.contains("{\"experiment\": \"diag\", \"shard\": \"nccl/0\", \"ms\": 2.000},"));
+        assert!(j.contains("{\"experiment\": \"diag\", \"shard\": \"nccl/1\", \"ms\": 3.000}\n"));
+        // Shard objects live after the experiments array (and have no `id`
+        // key), so id-scanning consumers never see them.
+        let exp_end = j.find("],").unwrap();
+        assert!(j.find("\"shard\"").unwrap() > exp_end);
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
     }
 }

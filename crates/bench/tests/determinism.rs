@@ -4,7 +4,7 @@
 //! (`select` → `run_selection` → `render_report`), so a pass here is a
 //! pass for the shipped tool.
 
-use acme::experiments::{run_selection, select, RunParams};
+use acme::experiments::{run_selection, select, set_workers, RunParams};
 use acme_bench::render_report;
 
 fn full_report(seed: u64, jobs: usize) -> String {
@@ -45,6 +45,50 @@ fn oversubscribed_workers_are_harmless() {
     let sequential = render_report(42, &run_selection(&selection, RunParams::new(42), 1));
     let parallel = render_report(42, &run_selection(&selection, RunParams::new(42), 64));
     assert_eq!(sequential, parallel);
+}
+
+/// The experiments that fan out internally. Shard workers must never
+/// change a byte of output, at any seed.
+const SHARDED: [&str; 6] = ["diag", "pipeline", "data", "fig2", "storm", "evalstorm"];
+
+#[test]
+fn intra_experiment_sharding_is_byte_identical() {
+    let ids: Vec<String> = SHARDED.iter().map(|s| s.to_string()).collect();
+    let selection = select(&ids).unwrap();
+    for seed in [42, 7] {
+        set_workers(1);
+        let inline = render_report(seed, &run_selection(&selection, RunParams::new(seed), 1));
+        set_workers(8);
+        let sharded = render_report(seed, &run_selection(&selection, RunParams::new(seed), 2));
+        set_workers(1);
+        assert!(
+            inline == sharded,
+            "8 shard workers diverged from inline at seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn sharded_experiments_report_shard_timings() {
+    let ids: Vec<String> = SHARDED.iter().map(|s| s.to_string()).collect();
+    let selection = select(&ids).unwrap();
+    let runs = run_selection(&selection, RunParams::new(42), 1);
+    for run in &runs {
+        assert!(
+            !run.shards.is_empty(),
+            "{} is sharded but recorded no shard timings",
+            run.id
+        );
+    }
+    // And the labels within each experiment are unique — `--timings-json`
+    // consumers key on (experiment, shard).
+    for run in &runs {
+        let mut labels: Vec<&str> = run.shards.iter().map(|s| s.label.as_str()).collect();
+        labels.sort_unstable();
+        let before = labels.len();
+        labels.dedup();
+        assert_eq!(before, labels.len(), "duplicate shard label in {}", run.id);
+    }
 }
 
 #[test]

@@ -15,6 +15,7 @@ use acme_sim_core::SimRng;
 use acme_telemetry::table::{f, pct};
 use acme_telemetry::Table;
 
+use super::shard::{run_shards, shard};
 use super::RunParams;
 
 /// Nodes in the evaluation fleet (the §6.2 four-node configuration).
@@ -91,15 +92,26 @@ pub fn evalstorm(p: RunParams) -> String {
         "dup results",
         "coverage",
     ]);
+    // Every arm replays the *same* plan: the arms differ only by recovery
+    // mechanism, never by the adversity they face — so each arm is an
+    // independent shard (results consumed in policy order).
+    let outcomes = run_shards(
+        CampaignPolicy::ALL
+            .iter()
+            .map(|&policy| {
+                let (datasets, storage, plan) = (&datasets, &storage, &plan);
+                shard(format!("arm/{}", policy.label()), move || {
+                    run_campaign(policy, datasets, NODES, storage, MODEL_GB, plan)
+                        .expect("the campaign inputs were already validated")
+                })
+            })
+            .collect(),
+    );
     let mut naive_inflation = 0.0;
     let mut full_inflation = 0.0;
     let mut naive_wasted = 0.0;
     let mut full_wasted = 0.0;
-    for policy in CampaignPolicy::ALL {
-        // Every arm replays the *same* plan: the arms differ only by
-        // recovery mechanism, never by the adversity they face.
-        let o = run_campaign(policy, &datasets, NODES, &storage, MODEL_GB, &plan)
-            .expect("the campaign inputs were already validated");
+    for (policy, o) in CampaignPolicy::ALL.into_iter().zip(outcomes) {
         let inflation = o.inflation_vs(clean.makespan_secs);
         match policy {
             CampaignPolicy::NaiveRestart => {

@@ -11,6 +11,7 @@ use acme_telemetry::Table;
 use acme_training::loss::{run_with_recovery, DataSpike, LossCurve};
 use acme_workload::{JobType, WorkloadGenerator};
 
+use super::shard::{run_shards, shard};
 use super::RunParams;
 
 /// `data` — the data-preparation pipeline and dataloader memory
@@ -42,16 +43,25 @@ pub fn data(p: RunParams) -> String {
     t.row(["tokens".to_owned(), stats.total_tokens.to_string()]);
     t.row(["bytes/token".to_owned(), f(stats.bytes_per_token, 2)]);
 
-    // Appendix A.2: dataloader strategies.
-    let mut r1 = SimRng::new(seed).fork(602);
-    let mut r2 = SimRng::new(seed).fork(602);
-    let preload = DataLoader::new(&dataset, LoaderStrategy::MetadataPreload, 512, &mut r1);
-    let stream = DataLoader::new(
-        &dataset,
-        LoaderStrategy::OnTheFly { buffer_docs: 8 },
-        512,
-        &mut r2,
-    );
+    // Appendix A.2: dataloader strategies. The two loaders consume
+    // identical forks of the seed stream, so they are independent shards.
+    let mut loaders = run_shards(vec![
+        shard("loader/metadata-preload", || {
+            let mut r = SimRng::new(seed).fork(602);
+            DataLoader::new(&dataset, LoaderStrategy::MetadataPreload, 512, &mut r)
+        }),
+        shard("loader/on-the-fly", || {
+            let mut r = SimRng::new(seed).fork(602);
+            DataLoader::new(
+                &dataset,
+                LoaderStrategy::OnTheFly { buffer_docs: 8 },
+                512,
+                &mut r,
+            )
+        }),
+    ]);
+    let stream = loaders.pop().expect("two shards");
+    let preload = loaders.pop().expect("two shards");
     let mut l = Table::new(["dataloader", "resident bytes", "relative"]);
     let base = preload.resident_bytes() as f64;
     for (name, loader) in [
@@ -171,11 +181,54 @@ pub fn preempt(seed: u64) -> String {
 /// fault-tolerance campaign (deployed system vs manual baseline).
 /// `scale` multiplies the corpus and both campaign horizons.
 pub fn pipeline(p: RunParams) -> String {
-    use crate::pipeline::{DevelopmentPipeline, FaultTolerantTrainer};
+    use crate::pipeline::{
+        CampaignReport, DevelopmentPipeline, FaultTolerantTrainer, PipelineReport,
+    };
     let seed = p.seed;
     let pretrain_days = 14 * p.scale as u64;
     let campaign_days = 21 * p.scale as u64;
-    let report = DevelopmentPipeline::with_scale(seed, p.scale).run();
+    let horizon = SimDuration::from_days(campaign_days);
+
+    // Three independent pieces — the staged pipeline report and the two
+    // §6.1 campaign arms (each on its own forked rng stream) — fan out as
+    // shards and are consumed in a fixed order.
+    enum Piece {
+        Report(Box<PipelineReport>),
+        Campaign(Box<CampaignReport>),
+    }
+    let campaign_arm = |deployed: bool| {
+        move || {
+            let trainer = if deployed {
+                FaultTolerantTrainer::deployed()
+            } else {
+                FaultTolerantTrainer::manual_baseline()
+            };
+            let mut rng = SimRng::new(seed).fork(905);
+            Piece::Campaign(Box::new(trainer.run_campaign(
+                &mut rng,
+                SimDuration::from_hours(15),
+                horizon,
+            )))
+        }
+    };
+    let mut pieces = run_shards(vec![
+        shard("stage/pipeline-report", || {
+            Piece::Report(Box::new(
+                DevelopmentPipeline::with_scale(seed, p.scale).run(),
+            ))
+        }),
+        shard("campaign/fault-tolerant", campaign_arm(true)),
+        shard("campaign/manual-baseline", campaign_arm(false)),
+    ]);
+    let manual = pieces.pop().expect("three shards");
+    let auto = pieces.pop().expect("three shards");
+    let report = pieces.pop().expect("three shards");
+    let (Piece::Report(report), Piece::Campaign(auto), Piece::Campaign(manual)) =
+        (report, auto, manual)
+    else {
+        unreachable!("shards return in order")
+    };
+
     let mut t = Table::new(["stage", "outcome"]);
     t.row([
         "1. data preparation".to_owned(),
@@ -213,19 +266,6 @@ pub fn pipeline(p: RunParams) -> String {
     ]);
 
     // The §6.1 campaign head-to-head.
-    let horizon = SimDuration::from_days(campaign_days);
-    let mut r1 = SimRng::new(seed).fork(905);
-    let mut r2 = SimRng::new(seed).fork(905);
-    let auto = FaultTolerantTrainer::deployed().run_campaign(
-        &mut r1,
-        SimDuration::from_hours(15),
-        horizon,
-    );
-    let manual = FaultTolerantTrainer::manual_baseline().run_campaign(
-        &mut r2,
-        SimDuration::from_hours(15),
-        horizon,
-    );
     let mut c = Table::new([
         format!("campaign ({campaign_days} days)"),
         "incidents".to_owned(),

@@ -12,11 +12,13 @@ mod failures;
 mod infra;
 pub mod queueing;
 pub mod runner;
+pub mod shard;
 mod storm;
 mod training;
 mod workload;
 
 pub use runner::{default_jobs, run_selection, ExperimentRun};
+pub use shard::{set_workers, ShardTiming};
 
 /// Inputs to one experiment run.
 ///

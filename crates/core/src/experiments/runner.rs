@@ -21,6 +21,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
+use super::shard::{self, ShardTiming};
 use super::{Experiment, RunParams};
 
 /// One finished experiment: its formatted report plus the wall time the
@@ -38,6 +39,9 @@ pub struct ExperimentRun {
     /// True when the experiment panicked; `output` then carries the
     /// `FAILED` block instead of the artifact.
     pub failed: bool,
+    /// Per-shard wall times, in shard order, for experiments that fan out
+    /// internally (see [`super::shard`]); empty for unsharded experiments.
+    pub shards: Vec<ShardTiming>,
 }
 
 /// How many workers to use when the caller does not say: one per available
@@ -61,9 +65,14 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
 }
 
 fn run_one(e: &Experiment, params: RunParams) -> ExperimentRun {
+    // Drop any shard timings a previous (failed) run left on this thread,
+    // then collect the ones this experiment records: `run_shards` reports
+    // them on the thread that called it, which is exactly this one.
+    shard::take_timings();
     let started = Instant::now();
     let body = catch_unwind(AssertUnwindSafe(|| (e.run)(params)));
     let wall = started.elapsed();
+    let shards = shard::take_timings();
     match body {
         Ok(body) => ExperimentRun {
             id: e.id,
@@ -71,6 +80,7 @@ fn run_one(e: &Experiment, params: RunParams) -> ExperimentRun {
             output: format!("### {} — {}\n{}", e.id, e.title, body),
             wall,
             failed: false,
+            shards,
         },
         Err(payload) => ExperimentRun {
             id: e.id,
@@ -82,6 +92,7 @@ fn run_one(e: &Experiment, params: RunParams) -> ExperimentRun {
             ),
             wall,
             failed: true,
+            shards,
         },
     }
 }
@@ -137,6 +148,7 @@ pub fn run_selection(
                     output: format!("### {} — FAILED\nworker exited without a result\n", e.id),
                     wall: Duration::ZERO,
                     failed: true,
+                    shards: Vec::new(),
                 })
         })
         .collect()

@@ -1,0 +1,194 @@
+//! Intra-experiment sharding: run independent pieces of *one* experiment
+//! on a small deterministic worker pool.
+//!
+//! [`super::runner`] parallelizes *across* experiments; after PR 2 removed
+//! the quadratic kernels, wall time is pinned by the fattest individual
+//! experiments (`diag`, `pipeline`, `data`, `fig2`, `storm`). Those
+//! experiments contain internally independent pieces — per-policy ablation
+//! arms, per-datacenter CDF builds, independent dataloaders — that this
+//! module fans out with the same discipline the runner uses: scoped
+//! `std` threads pulling indices from one atomic counter, one pre-sized
+//! result slot per shard, results handed back **in shard order**.
+//!
+//! Determinism contract: a shard must be a pure function of its inputs
+//! (its own forked RNG stream, never a slice of a shared sequential
+//! stream), and the caller must consume results in shard order. Under
+//! those two rules stdout is byte-identical at any worker count —
+//! enforced by CI's sharded-determinism smoke.
+//!
+//! Worker count comes from a process-wide hint ([`set_workers`], set by
+//! `repro --jobs`); with one worker (or one shard) everything runs inline
+//! on the calling thread, which is the exact sequential path and costs no
+//! spawn at all. Per-shard wall times are recorded on the experiment's
+//! thread and drained by the runner into [`super::runner::ExperimentRun`],
+//! surfacing in `repro --timings-json`.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One piece of an experiment: runs on a worker, returns its result.
+pub type ShardFn<'a, T> = Box<dyn FnOnce() -> T + Send + 'a>;
+
+/// Wall time of one named shard, for `--timings-json`.
+#[derive(Debug, Clone)]
+pub struct ShardTiming {
+    /// Shard label, unique within its experiment (`arm/naive-restart`,
+    /// `cdf/duration/Seren`, …).
+    pub label: String,
+    /// Wall-clock time the shard spent on its worker.
+    pub wall: Duration,
+}
+
+/// Worker-pool size hint; 0 means "unset, use `default_jobs()`".
+static WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the shard worker-pool size for the whole process (from `--jobs`).
+pub fn set_workers(n: usize) {
+    WORKERS.store(n.max(1), Ordering::Relaxed);
+}
+
+fn workers() -> usize {
+    match WORKERS.load(Ordering::Relaxed) {
+        0 => super::runner::default_jobs(),
+        n => n,
+    }
+}
+
+thread_local! {
+    /// Shard timings recorded on this thread since the last drain. Keyed
+    /// per thread so concurrent experiments on different runner workers
+    /// never mix their shards up.
+    static TIMINGS: RefCell<Vec<ShardTiming>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Drain the shard timings recorded on the calling thread.
+pub fn take_timings() -> Vec<ShardTiming> {
+    TIMINGS.with(|t| std::mem::take(&mut *t.borrow_mut()))
+}
+
+fn record(label: String, wall: Duration) {
+    TIMINGS.with(|t| t.borrow_mut().push(ShardTiming { label, wall }));
+}
+
+/// Run `shards` across the worker pool and return their results **in
+/// shard order** regardless of completion order.
+///
+/// With one worker or one shard this runs inline on the calling thread —
+/// the exact sequential execution. A panicking shard propagates after all
+/// workers have joined (the runner's `catch_unwind` turns it into the
+/// experiment's `FAILED` block).
+pub fn run_shards<'a, T: Send>(shards: Vec<(String, ShardFn<'a, T>)>) -> Vec<T> {
+    let n = shards.len();
+    if workers().min(n) <= 1 {
+        return shards
+            .into_iter()
+            .map(|(label, f)| {
+                let started = Instant::now();
+                let out = f();
+                record(label, started.elapsed());
+                out
+            })
+            .collect();
+    }
+
+    let mut labels = Vec::with_capacity(n);
+    let mut tasks: Vec<Mutex<Option<ShardFn<'a, T>>>> = Vec::with_capacity(n);
+    for (label, f) in shards {
+        labels.push(label);
+        tasks.push(Mutex::new(Some(f)));
+    }
+    // One pre-allocated slot per shard; each is written by exactly one
+    // worker, so the mutexes are contention-free.
+    let slots: Vec<Mutex<Option<(T, Duration)>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers().min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(cell) = tasks.get(i) else { break };
+                let f = cell
+                    .lock()
+                    .expect("shard task poisoned")
+                    .take()
+                    .expect("shard claimed twice");
+                let started = Instant::now();
+                let out = f();
+                *slots[i].lock().expect("shard slot poisoned") = Some((out, started.elapsed()));
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .zip(labels)
+        .map(|(slot, label)| {
+            let (out, wall) = slot
+                .into_inner()
+                .expect("shard slot poisoned")
+                .expect("worker exited without a result");
+            record(label, wall);
+            out
+        })
+        .collect()
+}
+
+/// Convenience: box a closure as a [`ShardFn`].
+pub fn shard<'a, T, F>(label: impl Into<String>, f: F) -> (String, ShardFn<'a, T>)
+where
+    F: FnOnce() -> T + Send + 'a,
+{
+    (label.into(), Box::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_shard_order() {
+        for workers in [1, 2, 8] {
+            set_workers(workers);
+            let out = run_shards(
+                (0..16)
+                    .map(|i| shard(format!("s{i}"), move || i * i))
+                    .collect(),
+            );
+            assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<_>>());
+        }
+        set_workers(1);
+    }
+
+    #[test]
+    fn timings_are_recorded_in_shard_order() {
+        set_workers(4);
+        take_timings();
+        let _ = run_shards(vec![
+            shard("alpha", || 1),
+            shard("beta", || 2),
+            shard("gamma", || 3),
+        ]);
+        let t = take_timings();
+        assert_eq!(
+            t.iter().map(|s| s.label.as_str()).collect::<Vec<_>>(),
+            ["alpha", "beta", "gamma"]
+        );
+        assert!(take_timings().is_empty(), "drain leaves nothing behind");
+        set_workers(1);
+    }
+
+    #[test]
+    fn borrows_from_the_caller_are_allowed() {
+        set_workers(2);
+        let data = [10u64, 20, 30];
+        let out = run_shards(
+            data.iter()
+                .map(|x| shard("borrow", move || x + 1))
+                .collect(),
+        );
+        assert_eq!(out, vec![11, 21, 31]);
+        set_workers(1);
+    }
+}

@@ -12,6 +12,7 @@ use acme_sim_core::SimRng;
 use acme_telemetry::table::{f, pct};
 use acme_telemetry::Table;
 
+use super::shard::{run_shards, shard};
 use super::RunParams;
 use crate::storm::{StormPolicy, StormRunner};
 
@@ -65,13 +66,25 @@ pub fn storm(p: RunParams) -> String {
         StormPolicy::RetryBackoff,
         StormPolicy::FullOrchestrator,
     ];
+    // Each arm replays the same campaign with its own forked rng stream,
+    // so the arms differ only by policy, never by draw order — which also
+    // makes them independent shards (results consumed in policy order).
+    let outcomes = run_shards(
+        policies
+            .iter()
+            .map(|&policy| {
+                let runner = &runner;
+                let campaign = &campaign;
+                shard(format!("arm/{}", policy.label()), move || {
+                    let mut arm_rng = SimRng::new(p.seed).fork(1002 + policy as u64);
+                    runner.run(campaign, policy, &mut arm_rng)
+                })
+            })
+            .collect(),
+    );
     let mut naive_goodput = 0.0;
     let mut full_goodput = 0.0;
-    for policy in policies {
-        // Each arm replays the same campaign with its own rng stream, so
-        // the arms differ only by policy, never by draw order.
-        let mut arm_rng = SimRng::new(p.seed).fork(1002 + policy as u64);
-        let o = runner.run(&campaign, policy, &mut arm_rng);
+    for (policy, o) in policies.into_iter().zip(outcomes) {
         match policy {
             StormPolicy::NaiveRestart => naive_goodput = o.goodput(),
             StormPolicy::FullOrchestrator => full_goodput = o.goodput(),

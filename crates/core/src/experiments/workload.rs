@@ -1,5 +1,7 @@
 //! Workload-characterization experiments (§3.1–3.2, Appendix A.1).
 
+use std::sync::{Arc, Mutex};
+
 use acme_cluster::ClusterSpec;
 use acme_sim_core::SimRng;
 use acme_telemetry::table::{f, pct, render_cdf_quantiles};
@@ -7,17 +9,57 @@ use acme_telemetry::{Cdf, Table};
 use acme_workload::datacenters::{table2 as table2_rows, RefDatacenter};
 use acme_workload::{TraceStats, WorkloadGenerator};
 
+use super::shard::{run_shards, shard};
+
 /// Quantiles printed for CDF-style figures.
 const QS: [f64; 7] = [0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99];
 
-fn seren_month(seed: u64) -> acme_workload::ClusterWorkload {
-    let mut rng = SimRng::new(seed).fork(101);
-    WorkloadGenerator::seren().generate(&mut rng, 30.0, 0)
+/// Memoized trace lookup. Five experiments (`table2`, `fig3`, `fig4`,
+/// `fig5`, `fig17`) consume the *same* seed-keyed Seren/Kalos traces;
+/// generating them once and sharing the `Arc` removes the single largest
+/// redundant cost in `repro all`. The trace is a pure function of
+/// `(seed, kind)`, so caching cannot perturb any output — a racing miss on
+/// two workers just builds the same value twice and keeps one.
+fn cached_trace(
+    seed: u64,
+    kind: u8,
+    build: impl FnOnce() -> acme_workload::ClusterWorkload,
+) -> Arc<acme_workload::ClusterWorkload> {
+    static CACHE: Mutex<Vec<(u64, u8, Arc<acme_workload::ClusterWorkload>)>> =
+        Mutex::new(Vec::new());
+    if let Some((_, _, hit)) = CACHE
+        .lock()
+        .expect("trace cache poisoned")
+        .iter()
+        .find(|e| e.0 == seed && e.1 == kind)
+    {
+        return hit.clone();
+    }
+    let built = Arc::new(build());
+    let mut cache = CACHE.lock().expect("trace cache poisoned");
+    if let Some((_, _, hit)) = cache.iter().find(|e| e.0 == seed && e.1 == kind) {
+        return hit.clone();
+    }
+    // Small FIFO bound: `repro` touches one seed, tests touch a handful.
+    if cache.len() >= 8 {
+        cache.remove(0);
+    }
+    cache.push((seed, kind, built.clone()));
+    built
 }
 
-fn kalos_six_months(seed: u64) -> acme_workload::ClusterWorkload {
-    let mut rng = SimRng::new(seed).fork(102);
-    WorkloadGenerator::kalos().generate(&mut rng, 183.0, 0)
+fn seren_month(seed: u64) -> Arc<acme_workload::ClusterWorkload> {
+    cached_trace(seed, 0, || {
+        let mut rng = SimRng::new(seed).fork(101);
+        WorkloadGenerator::seren().generate(&mut rng, 30.0, 0)
+    })
+}
+
+fn kalos_six_months(seed: u64) -> Arc<acme_workload::ClusterWorkload> {
+    cached_trace(seed, 1, || {
+        let mut rng = SimRng::new(seed).fork(102);
+        WorkloadGenerator::kalos().generate(&mut rng, 183.0, 0)
+    })
 }
 
 /// Table 1 — the static hardware facts.
@@ -85,24 +127,48 @@ pub fn fig2(seed: u64) -> String {
         RefDatacenter::helios(),
         RefDatacenter::pai(),
     ];
-    let durations: Vec<(&str, Cdf)> = dcs
+    // Sampling threads one sequential rng stream, so it stays on this
+    // thread; the O(n log n) CDF builds are pure per-series work and fan
+    // out as shards (one per datacenter and panel, consumed in order).
+    let dur_samples: Vec<Vec<f64>> = dcs
         .iter()
         .map(|dc| {
-            let jobs = dc.sample_jobs(&mut rng, n);
-            (
-                dc.name,
-                Cdf::from_samples(jobs.iter().map(|j| j.duration_mins).collect()).unwrap(),
-            )
+            dc.sample_jobs(&mut rng, n)
+                .iter()
+                .map(|j| j.duration_mins)
+                .collect()
         })
+        .collect();
+    let util_samples: Vec<Vec<f64>> = dcs
+        .iter()
+        .map(|dc| dc.sample_utilization(&mut rng, n))
+        .collect();
+    let mut shards = Vec::new();
+    for (dc, xs) in dcs.iter().zip(dur_samples) {
+        shards.push(shard(format!("cdf/duration/{}", dc.name), move || {
+            Cdf::from_samples(xs)
+        }));
+    }
+    for (dc, xs) in dcs.iter().zip(util_samples) {
+        shards.push(shard(format!("cdf/utilization/{}", dc.name), move || {
+            Cdf::from_samples(xs)
+        }));
+    }
+    let mut cdfs = run_shards(shards);
+    let util_cdfs = cdfs.split_off(dcs.len());
+
+    let durations: Vec<(&str, Cdf)> = dcs
+        .iter()
+        .zip(cdfs)
+        .map(|(dc, c)| (dc.name, c.unwrap()))
         .collect();
     let dur_refs: Vec<(&str, &Cdf)> = durations.iter().map(|(n, c)| (*n, c)).collect();
     let mut out = render_cdf_quantiles("(a) GPU job duration, minutes", &dur_refs, &QS);
 
     let utils: Vec<(&str, Cdf)> = dcs
         .iter()
-        .filter_map(|dc| {
-            Cdf::from_samples(dc.sample_utilization(&mut rng, n)).map(|c| (dc.name, c))
-        })
+        .zip(util_cdfs)
+        .filter_map(|(dc, c)| c.map(|c| (dc.name, c)))
         .collect();
     let util_refs: Vec<(&str, &Cdf)> = utils.iter().map(|(n, c)| (*n, c)).collect();
     out.push_str(&render_cdf_quantiles(

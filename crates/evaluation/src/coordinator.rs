@@ -279,6 +279,29 @@ mod tests {
     use super::*;
     use crate::benchmarks::registry;
 
+    /// The coordinator keys its queue with [`SimTime::from_ordered_secs_f64`]
+    /// — an order-preserving bit transform, not a quantization — so the
+    /// calendar queue's bucket math must keep exact `total_cmp` order and
+    /// FIFO ties for arbitrary `f64` second values. This pins the contract
+    /// the whole evaluation subsystem's determinism rests on.
+    #[test]
+    fn ordered_f64_keys_drain_in_total_cmp_order() {
+        let mut queue: EventQueue<usize> = EventQueue::new();
+        let secs = [
+            1.0e-300, 0.25, 0.25, 1.5, 1.5, 3600.0, 86_400.0, 1.0e12, 0.75,
+        ];
+        for (i, &s) in secs.iter().enumerate() {
+            queue.schedule(SimTime::from_ordered_secs_f64(s), i);
+        }
+        let mut sorted: Vec<(f64, usize)> = secs.iter().copied().zip(0..).collect();
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        for (s, i) in sorted {
+            let (t, e) = queue.pop().expect("queue drains all scheduled events");
+            assert_eq!((t, e), (SimTime::from_ordered_secs_f64(s), i));
+        }
+        assert!(queue.pop().is_none());
+    }
+
     fn makespan(s: Scheduler, nodes: u32) -> f64 {
         run(s, &registry(), nodes, &SharedStorage::seren(), 14.0)
             .unwrap()

@@ -223,9 +223,56 @@ impl LogAgent {
 
     /// Mine rules and install them in one step; returns how many new rules
     /// were learned.
+    ///
+    /// Equivalent to `add_rules(mine_rules(lines))`, but templates the
+    /// compressor already holds are skipped during counting: re-adding an
+    /// existing rule is a no-op, so once the rule set has converged (the
+    /// steady state when streaming many similar logs) the voting machinery
+    /// touches only genuinely new templates.
     pub fn learn_into(&self, compressor: &mut LogCompressor, lines: &[String]) -> usize {
+        assert!(self.segments >= self.votes_required && self.votes_required >= 1);
         let before = compressor.rule_count();
-        compressor.add_rules(self.mine_rules(lines));
+        if lines.is_empty() {
+            return 0;
+        }
+        let seg_len = lines.len().div_ceil(self.segments);
+        let mut votes: HashMap<String, usize> = HashMap::new();
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        let mut buf = String::new();
+        for seg in lines.chunks(seg_len.max(1)) {
+            counts.clear();
+            for line in seg {
+                if is_protected(line) {
+                    continue;
+                }
+                normalize_into(line, &mut buf);
+                if compressor.rules.contains(buf.as_str()) {
+                    continue;
+                }
+                match counts.get_mut(buf.as_str()) {
+                    Some(c) => *c += 1,
+                    None => {
+                        counts.insert(buf.clone(), 1);
+                    }
+                }
+            }
+            for (tpl, &c) in &counts {
+                if c >= self.min_count {
+                    match votes.get_mut(tpl.as_str()) {
+                        Some(v) => *v += 1,
+                        None => {
+                            votes.insert(tpl.clone(), 1);
+                        }
+                    }
+                }
+            }
+        }
+        compressor.add_rules(
+            votes
+                .into_iter()
+                .filter(|&(_, v)| v >= self.votes_required)
+                .map(|(tpl, _)| tpl),
+        );
         compressor.rule_count() - before
     }
 }

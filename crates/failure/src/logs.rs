@@ -105,49 +105,70 @@ impl LogBundle {
     /// followed by the (secondary + root) error block and a traceback.
     pub fn generate(root_cause: FailureReason, noise_lines: usize, rng: &mut SimRng) -> Self {
         let mut lines = Vec::with_capacity(noise_lines + 16);
-        lines.push("INFO colossal launcher: initializing distributed environment".to_owned());
-        lines.push(format!(
+        Self::generate_into(&mut lines, root_cause, noise_lines, rng);
+        LogBundle { lines, root_cause }
+    }
+
+    /// Render the same log as [`LogBundle::generate`] into `lines`,
+    /// reusing its line allocations (the diagnosis benchmark streams
+    /// hundreds of bundles; recycling one buffer keeps the hot loop free
+    /// of per-line allocation). Content is byte-identical to `generate`.
+    pub fn generate_into(
+        lines: &mut Vec<String>,
+        root_cause: FailureReason,
+        noise_lines: usize,
+        rng: &mut SimRng,
+    ) {
+        use std::fmt::Write as _;
+        let mut used = 0usize;
+        // Reuse the String at the cursor when one exists, extend otherwise.
+        macro_rules! out {
+            ($($arg:tt)*) => {{
+                if used == lines.len() {
+                    lines.push(String::new());
+                }
+                let line = &mut lines[used];
+                line.clear();
+                write!(line, $($arg)*).expect("write! to String is infallible");
+                used += 1;
+            }};
+        }
+        out!("INFO colossal launcher: initializing distributed environment");
+        out!(
             "INFO topo: world_size={} tp=8 pp=4 zero=1",
             8 * (1 + rng.below(256))
-        ));
-        lines.push("INFO dataloader: on-the-fly tokenization enabled".to_owned());
+        );
+        out!("INFO dataloader: on-the-fly tokenization enabled");
         for i in 0..noise_lines {
             // Per-step metric records: the bulk of real logs, and exactly
             // what the Filter Rules must learn to strip.
             let step = i as u64 + 1;
             match i % 4 {
-                0 => lines.push(format!(
+                0 => out!(
                     "INFO train: step={step} loss={:.4} lr={:.2e} tgs={:.1}",
                     8.0 / (step as f64).sqrt() + rng.f64() * 0.05,
                     4e-4 * (1.0 - step as f64 * 1e-6),
                     3950.0 + rng.f64() * 100.0
-                )),
-                1 => lines.push(format!(
+                ),
+                1 => out!(
                     "INFO memory: step={step} allocated={:.1}GB reserved={:.1}GB",
                     55.0 + rng.f64() * 5.0,
                     71.0 + rng.f64() * 2.0
-                )),
-                2 => lines.push(format!(
-                    "INFO grad_norm: step={step} norm={:.3}",
-                    1.0 + rng.f64()
-                )),
-                _ => lines.push(format!(
+                ),
+                2 => out!("INFO grad_norm: step={step} norm={:.3}", 1.0 + rng.f64()),
+                _ => out!(
                     "DEBUG ckpt: step={step} snapshot staged in {:.0}ms",
                     180.0 + rng.f64() * 40.0
-                )),
+                ),
             }
         }
         for s in secondary_signatures(root_cause) {
-            lines.push(format!("ERROR rank {}: {s}", rng.below(2048)));
+            out!("ERROR rank {}: {s}", rng.below(2048));
         }
-        lines.push("Traceback (most recent call last):".to_owned());
-        lines.push("  File \"train.py\", line 412, in main".to_owned());
-        lines.push(format!(
-            "ERROR rank {}: {}",
-            rng.below(2048),
-            signature(root_cause)
-        ));
-        LogBundle { lines, root_cause }
+        out!("Traceback (most recent call last):");
+        out!("  File \"train.py\", line 412, in main");
+        out!("ERROR rank {}: {}", rng.below(2048), signature(root_cause));
+        lines.truncate(used);
     }
 
     /// Total rendered size in bytes.

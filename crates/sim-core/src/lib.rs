@@ -27,5 +27,7 @@ pub mod time;
 
 pub use engine::{Engine, Process};
 pub use event::EventQueue;
+#[cfg(feature = "heap-oracle")]
+pub use event::HeapEventQueue;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

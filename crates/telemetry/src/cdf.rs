@@ -5,10 +5,12 @@
 //!
 //! Construction is the hot path — every distributional experiment builds
 //! CDFs over hundreds of thousands of monitor samples — so `from_samples`
-//! uses an unstable sort (equal `f64` keys are indistinguishable, so
-//! stability buys nothing), validates NaN-freedom and accumulates the mean
-//! in one pass, and [`Cdf::from_sorted`] lets callers with already-ordered
-//! series skip the sort entirely.
+//! radix-sorts large inputs by their IEEE-754 bit patterns (a monotone
+//! transform makes unsigned order equal `total_cmp` order; see
+//! [`radix_sort_f64`]), falls back to a comparison sort for small ones,
+//! validates NaN-freedom and accumulates the mean in one pass, and
+//! [`Cdf::from_sorted`] lets callers with already-ordered series skip the
+//! sort entirely.
 
 /// An empirical CDF over `f64` samples. NaNs are rejected at construction.
 #[derive(Debug, Clone)]
@@ -29,6 +31,66 @@ fn checked_sum(samples: &[f64]) -> f64 {
     sum
 }
 
+/// Below this length a comparison sort beats the radix passes.
+const RADIX_MIN_LEN: usize = 1024;
+
+/// Map an `f64`'s bits to a `u64` whose unsigned order equals `total_cmp`
+/// order: flip the sign bit for non-negatives, all bits for negatives.
+/// Monotone and injective, so sorting by the key sorts by `total_cmp`
+/// (including `-0.0 < +0.0`); NaN-freedom is guaranteed by `checked_sum`.
+#[inline]
+fn sort_key(x: f64) -> u64 {
+    let b = x.to_bits();
+    b ^ (((b as i64 >> 63) as u64) | 0x8000_0000_0000_0000)
+}
+
+/// Inverse of [`sort_key`].
+#[inline]
+fn key_to_f64(k: u64) -> f64 {
+    let mask = if k & 0x8000_0000_0000_0000 != 0 {
+        0x8000_0000_0000_0000 // was non-negative: undo the sign flip
+    } else {
+        u64::MAX // was negative: undo the full complement
+    };
+    f64::from_bits(k ^ mask)
+}
+
+/// LSD radix sort (eight 8-bit digits) by [`sort_key`]. O(n), and produces
+/// exactly the order `sort_unstable_by(f64::total_cmp)` produces — equal
+/// keys have identical bit patterns, so even instability is unobservable.
+/// Passes whose digit is constant across all keys (common: a narrow
+/// exponent range pins the high bytes) are skipped outright.
+fn radix_sort_f64(samples: &mut [f64]) {
+    let n = samples.len();
+    let mut keys: Vec<u64> = samples.iter().map(|&x| sort_key(x)).collect();
+    let mut scratch: Vec<u64> = vec![0; n];
+    for pass in 0..8 {
+        let shift = pass * 8;
+        let mut counts = [0usize; 256];
+        for &k in &keys {
+            counts[((k >> shift) & 0xff) as usize] += 1;
+        }
+        if counts.contains(&n) {
+            continue;
+        }
+        let mut pos = 0usize;
+        for c in &mut counts {
+            let start = pos;
+            pos += *c;
+            *c = start;
+        }
+        for &k in &keys {
+            let d = ((k >> shift) & 0xff) as usize;
+            scratch[counts[d]] = k;
+            counts[d] += 1;
+        }
+        std::mem::swap(&mut keys, &mut scratch);
+    }
+    for (dst, k) in samples.iter_mut().zip(keys) {
+        *dst = key_to_f64(k);
+    }
+}
+
 impl Cdf {
     /// Build from samples (any order). Returns `None` when empty.
     ///
@@ -39,7 +101,11 @@ impl Cdf {
             return None;
         }
         let sum = checked_sum(&samples);
-        samples.sort_unstable_by(f64::total_cmp);
+        if samples.len() >= RADIX_MIN_LEN {
+            radix_sort_f64(&mut samples);
+        } else {
+            samples.sort_unstable_by(f64::total_cmp);
+        }
         let mean = sum / samples.len() as f64;
         Some(Cdf {
             sorted: samples,
@@ -250,5 +316,48 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn quantile_rejects_bad_p() {
         cdf(&[1.0]).quantile(1.5);
+    }
+
+    #[test]
+    fn radix_sort_matches_total_cmp_order() {
+        // Cross the RADIX_MIN_LEN threshold with adversarial values:
+        // negatives, ±0.0, infinities, subnormals, and ties.
+        let mut xs: Vec<f64> = (0..RADIX_MIN_LEN as i64 + 500)
+            .map(|i| {
+                let x = ((i * 2654435761) % 10_007) as f64 - 5_000.0;
+                x * 1e-3 * if i % 7 == 0 { 1e300 } else { 1.0 }
+            })
+            .collect();
+        xs.extend([0.0, -0.0, f64::INFINITY, f64::NEG_INFINITY, 5e-324, -5e-324]);
+        let mut expect = xs.clone();
+        expect.sort_unstable_by(f64::total_cmp);
+        let c = Cdf::from_samples(xs).unwrap();
+        // Bit-level equality: -0.0 and 0.0 must land exactly where
+        // total_cmp puts them.
+        let got: Vec<u64> = c.samples().iter().map(|x| x.to_bits()).collect();
+        let want: Vec<u64> = expect.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sort_key_roundtrips_and_is_monotone() {
+        let xs = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -1.0,
+            -5e-324,
+            -0.0,
+            0.0,
+            5e-324,
+            1.0,
+            1e300,
+            f64::INFINITY,
+        ];
+        for w in xs.windows(2) {
+            assert!(sort_key(w[0]) < sort_key(w[1]), "{} !< {}", w[0], w[1]);
+        }
+        for &x in &xs {
+            assert_eq!(key_to_f64(sort_key(x)).to_bits(), x.to_bits());
+        }
     }
 }

@@ -92,20 +92,28 @@ impl<'a> TraceStats<'a> {
 
     /// `(status, count_share, gpu_time_share)` rows — Figure 17.
     pub fn status_shares(&self) -> Vec<(JobStatus, f64, f64)> {
+        // Single pass with one accumulator per status: each status's sum
+        // receives exactly the additions the per-status filter pass made,
+        // in the same job order, so the floating-point totals are
+        // bit-identical to the multi-pass original.
+        let mut counts = [0usize; JobStatus::ALL.len()];
+        let mut times = [0.0f64; JobStatus::ALL.len()];
+        for j in self.jobs {
+            let i = JobStatus::ALL
+                .iter()
+                .position(|&s| s == j.status)
+                .expect("status outside JobStatus::ALL");
+            counts[i] += 1;
+            times[i] += j.gpu_seconds();
+        }
         JobStatus::ALL
             .iter()
-            .map(|&s| {
-                let n = self.jobs.iter().filter(|j| j.status == s).count();
-                let t: f64 = self
-                    .jobs
-                    .iter()
-                    .filter(|j| j.status == s)
-                    .map(|j| j.gpu_seconds())
-                    .sum();
+            .enumerate()
+            .map(|(i, &s)| {
                 (
                     s,
-                    n as f64 / self.jobs.len() as f64,
-                    t / self.total_gpu_seconds,
+                    counts[i] as f64 / self.jobs.len() as f64,
+                    times[i] / self.total_gpu_seconds,
                 )
             })
             .collect()
@@ -115,16 +123,24 @@ impl<'a> TraceStats<'a> {
     pub fn demand_boxplots(&self) -> Vec<(JobType, BoxplotStats)> {
         JobType::ALL
             .iter()
-            .filter_map(|&ty| {
-                let demands: Vec<f64> = self
-                    .jobs
-                    .iter()
-                    .filter(|j| j.job_type == ty)
-                    .map(|j| j.gpus as f64)
-                    .collect();
-                BoxplotStats::from_samples(demands).map(|b| (ty, b))
-            })
+            .zip(self.partition_by_type(|j| j.gpus as f64))
+            .filter_map(|(&ty, demands)| BoxplotStats::from_samples(demands).map(|b| (ty, b)))
             .collect()
+    }
+
+    /// One pass splitting `f(job)` into per-type sample vectors, ordered
+    /// as `JobType::ALL`; job order within each type is trace order, the
+    /// same order the per-type filter passes produced.
+    fn partition_by_type(&self, f: impl Fn(&JobRecord) -> f64) -> Vec<Vec<f64>> {
+        let mut per: Vec<Vec<f64>> = (0..JobType::ALL.len()).map(|_| Vec::new()).collect();
+        for j in self.jobs {
+            let i = JobType::ALL
+                .iter()
+                .position(|&t| t == j.job_type)
+                .expect("type outside JobType::ALL");
+            per[i].push(f(j));
+        }
+        per
     }
 
     /// Figure 3(a): cumulative fraction of *job count* for jobs requesting
@@ -140,15 +156,31 @@ impl<'a> TraceStats<'a> {
     }
 
     fn demand_cdf(&self, weight: impl Fn(&JobRecord) -> f64) -> Vec<(u32, f64)> {
-        let thresholds: Vec<u32> = (0..=12).map(|k| 1u32 << k).collect(); // 1..4096
-        let total: f64 = self.jobs.iter().map(&weight).sum();
-        thresholds
-            .into_iter()
-            .map(|t| {
-                let w: f64 = self.jobs.iter().filter(|j| j.gpus <= t).map(&weight).sum();
-                (t, w / total)
-            })
-            .collect()
+        // Thresholds are the powers of two 1..4096. One pass scatters each
+        // job's weight into every threshold ≥ its demand, in job order —
+        // each threshold therefore accumulates exactly the additions the
+        // original 13 filtered passes performed, in the same order, and
+        // the floating-point results are bit-identical.
+        const K: usize = 13;
+        let mut sums = [0.0f64; K];
+        let mut total = 0.0f64;
+        for j in self.jobs {
+            let w = weight(j);
+            total += w;
+            // Smallest k with 2^k ≥ gpus (jobs over 4096 GPUs fall past
+            // the last threshold and contribute only to the total).
+            let k = if j.gpus <= 1 {
+                0
+            } else {
+                (32 - (j.gpus - 1).leading_zeros()) as usize
+            };
+            if k < K {
+                for s in &mut sums[k..] {
+                    *s += w;
+                }
+            }
+        }
+        (0..K).map(|k| (1u32 << k, sums[k] / total)).collect()
     }
 
     /// Per-type duration CDFs in minutes — Figure 6(a/c).
@@ -164,15 +196,8 @@ impl<'a> TraceStats<'a> {
     fn per_type_cdf(&self, f: impl Fn(&JobRecord) -> f64) -> Vec<(JobType, Cdf)> {
         JobType::ALL
             .iter()
-            .filter_map(|&ty| {
-                let xs: Vec<f64> = self
-                    .jobs
-                    .iter()
-                    .filter(|j| j.job_type == ty)
-                    .map(&f)
-                    .collect();
-                Cdf::from_samples(xs).map(|c| (ty, c))
-            })
+            .zip(self.partition_by_type(f))
+            .filter_map(|(&ty, xs)| Cdf::from_samples(xs).map(|c| (ty, c)))
             .collect()
     }
 }
