@@ -7,6 +7,7 @@
 //! repro fig10 table3               # run a selection
 //! repro fig6 --seed 7              # override the seed
 //! repro data --scale 16            # 16× the heavy-experiment workloads
+//! repro fleet --fleet-jobs 100000  # shrink the open-system fleet run
 //! repro all --timings-json t.json  # machine-readable timing dump
 //! ```
 //!
@@ -23,7 +24,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: repro [--list] [--seed N] [--jobs N] [--scale N] [--timings-json PATH] [all | <id>...]"
+                "usage: repro [--list] [--seed N] [--jobs N] [--scale N] [--fleet-jobs N] [--timings-json PATH] [all | <id>...]"
             );
             return ExitCode::FAILURE;
         }
@@ -52,7 +53,8 @@ fn main() -> ExitCode {
     // Sharded experiments fan out internally on the same budget, so a
     // small selection still uses every requested worker.
     acme::experiments::set_workers(requested_jobs);
-    let params = acme::experiments::RunParams::with_scale(args.seed, args.scale);
+    let params = acme::experiments::RunParams::with_scale(args.seed, args.scale)
+        .with_fleet_jobs(args.fleet_jobs);
     let started = Instant::now();
     let runs = acme::experiments::run_selection(&selection, params, jobs);
     let elapsed = started.elapsed();
@@ -61,7 +63,13 @@ fn main() -> ExitCode {
     eprint!("{}", acme_bench::render_timings(&runs, jobs, elapsed));
 
     if let Some(path) = &args.timings_json {
-        let json = acme_bench::render_timings_json(args.seed, &runs, jobs, elapsed);
+        let json = acme_bench::render_timings_json(
+            args.seed,
+            &runs,
+            jobs,
+            elapsed,
+            acme_bench::peak_rss_bytes(),
+        );
         if let Err(e) = std::fs::write(path, json) {
             eprintln!("error: cannot write {path}: {e}");
             return ExitCode::FAILURE;

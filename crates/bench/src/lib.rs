@@ -43,12 +43,14 @@ pub struct HarnessArgs {
     pub jobs: Option<usize>,
     /// Workload multiplier for the heavy experiments (≥ 1).
     pub scale: u32,
+    /// Arrival count for the open-system `fleet` experiment.
+    pub fleet_jobs: u64,
     /// Write a machine-readable timing dump to this path.
     pub timings_json: Option<String>,
 }
 
 /// Parse harness arguments: experiment ids plus `--seed N`, `--jobs N`,
-/// `--scale N`, `--timings-json PATH`, and `--list`.
+/// `--scale N`, `--fleet-jobs N`, `--timings-json PATH`, and `--list`.
 pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<HarnessArgs, String> {
     let mut parsed = HarnessArgs {
         ids: Vec::new(),
@@ -56,6 +58,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<HarnessArgs
         list_only: false,
         jobs: None,
         scale: 1,
+        fleet_jobs: acme::experiments::DEFAULT_FLEET_JOBS,
         timings_json: None,
     };
     let mut iter = args.into_iter();
@@ -80,6 +83,14 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<HarnessArgs
                     return Err("--scale must be at least 1".into());
                 }
                 parsed.scale = n;
+            }
+            "--fleet-jobs" => {
+                let v = iter.next().ok_or("--fleet-jobs needs a value")?;
+                let n: u64 = v.parse().map_err(|_| format!("bad fleet job count: {v}"))?;
+                if n == 0 {
+                    return Err("--fleet-jobs must be at least 1".into());
+                }
+                parsed.fleet_jobs = n;
             }
             "--timings-json" => {
                 let v = iter.next().ok_or("--timings-json needs a path")?;
@@ -141,18 +152,37 @@ pub fn render_timings(runs: &[ExperimentRun], jobs: usize, elapsed: std::time::D
     out
 }
 
+/// Peak resident set size of this process in bytes, read from the
+/// `VmHWM` line of `/proc/self/status`. Returns `0` where that interface
+/// does not exist (non-Linux) — consumers treat `0` as "unavailable",
+/// never as "used no memory".
+pub fn peak_rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status.lines().find_map(|line| {
+                let kb = line.strip_prefix("VmHWM:")?.trim().strip_suffix("kB")?;
+                kb.trim().parse::<u64>().ok().map(|kb| kb * 1024)
+            })
+        })
+        .unwrap_or(0)
+}
+
 /// Machine-readable timing dump (hand-rolled JSON; no serde in-tree).
-/// Schema: `{seed, jobs, wall_ms, experiments: [{id, ms}, ...],
-/// shards: [{experiment, shard, ms}, ...]}` with experiments in selection
-/// order and shards in per-experiment execution order. The flat `shards`
-/// section comes *after* the experiments array, so scanners that stop at
-/// the array's closing bracket (the `bench_guard` parser) are unaffected;
-/// its objects deliberately carry no `id` key.
+/// Schema: `{seed, jobs, wall_ms, peak_rss_bytes, experiments:
+/// [{id, ms}, ...], shards: [{experiment, shard, ms}, ...]}` with
+/// experiments in selection order and shards in per-experiment execution
+/// order. The flat `shards` section comes *after* the experiments array,
+/// so scanners that stop at the array's closing bracket (the
+/// `bench_guard` parser) are unaffected; its objects deliberately carry
+/// no `id` key. `peak_rss` is the caller's [`peak_rss_bytes`] reading,
+/// taken as a parameter so the renderer stays a pure function.
 pub fn render_timings_json(
     seed: u64,
     runs: &[ExperimentRun],
     jobs: usize,
     elapsed: std::time::Duration,
+    peak_rss: u64,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -162,6 +192,7 @@ pub fn render_timings_json(
         "  \"wall_ms\": {:.3},\n",
         elapsed.as_secs_f64() * 1e3
     ));
+    out.push_str(&format!("  \"peak_rss_bytes\": {peak_rss},\n"));
     out.push_str("  \"experiments\": [\n");
     for (i, run) in runs.iter().enumerate() {
         let comma = if i + 1 == runs.len() { "" } else { "," };
@@ -238,6 +269,13 @@ mod tests {
         assert_eq!(p.jobs, Some(4));
         assert_eq!(p.timings_json.as_deref(), Some("t.json"));
         assert_eq!(p.scale, 1);
+        assert_eq!(p.fleet_jobs, acme::experiments::DEFAULT_FLEET_JOBS);
+    }
+
+    #[test]
+    fn fleet_jobs_flag() {
+        let p = parse_args(v(&["fleet", "--fleet-jobs", "100000"])).unwrap();
+        assert_eq!(p.fleet_jobs, 100_000);
     }
 
     #[test]
@@ -257,6 +295,9 @@ mod tests {
         assert!(parse_args(v(&["--scale"])).is_err());
         assert!(parse_args(v(&["--scale", "0"])).is_err());
         assert!(parse_args(v(&["--scale", "x"])).is_err());
+        assert!(parse_args(v(&["--fleet-jobs"])).is_err());
+        assert!(parse_args(v(&["--fleet-jobs", "0"])).is_err());
+        assert!(parse_args(v(&["--fleet-jobs", "x"])).is_err());
         assert!(parse_args(v(&["--timings-json"])).is_err());
     }
 
@@ -292,9 +333,13 @@ mod tests {
     #[test]
     fn timings_json_shape() {
         let runs = [fake_run("x", 3), fake_run("y", 4)];
-        let j = render_timings_json(42, &runs, 8, Duration::from_millis(7));
+        let j = render_timings_json(42, &runs, 8, Duration::from_millis(7), 12_345_678);
         assert!(j.contains("\"seed\": 42"));
         assert!(j.contains("\"jobs\": 8"));
+        // RSS comes before the experiments array, after the scalar header
+        // fields, so `bench_guard`'s id scanner never sees it.
+        assert!(j.contains("\"peak_rss_bytes\": 12345678,\n"));
+        assert!(j.find("\"peak_rss_bytes\"").unwrap() < j.find("\"experiments\"").unwrap());
         assert!(j.contains("{\"id\": \"x\", \"ms\": 3.000},"));
         assert!(j.contains("{\"id\": \"y\", \"ms\": 4.000}\n"));
         // Unsharded runs still emit the (empty) shards section.
@@ -319,7 +364,7 @@ mod tests {
             },
         ];
         let runs = [fake_run("x", 3), sharded];
-        let j = render_timings_json(7, &runs, 2, Duration::from_millis(12));
+        let j = render_timings_json(7, &runs, 2, Duration::from_millis(12), 0);
         assert!(j.contains("{\"experiment\": \"diag\", \"shard\": \"nccl/0\", \"ms\": 2.000},"));
         assert!(j.contains("{\"experiment\": \"diag\", \"shard\": \"nccl/1\", \"ms\": 3.000}\n"));
         // Shard objects live after the experiments array (and have no `id`
@@ -328,5 +373,15 @@ mod tests {
         assert!(j.find("\"shard\"").unwrap() > exp_end);
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn peak_rss_reads_vmhwm_on_linux() {
+        let rss = peak_rss_bytes();
+        if cfg!(target_os = "linux") {
+            // The test process has certainly touched a few MiB.
+            assert!(rss > 1024 * 1024, "VmHWM reported {rss} bytes");
+            assert_eq!(rss % 1024, 0, "VmHWM is reported in kB");
+        }
     }
 }

@@ -49,7 +49,15 @@ fn oversubscribed_workers_are_harmless() {
 
 /// The experiments that fan out internally. Shard workers must never
 /// change a byte of output, at any seed.
-const SHARDED: [&str; 6] = ["diag", "pipeline", "data", "fig2", "storm", "evalstorm"];
+const SHARDED: [&str; 7] = [
+    "diag",
+    "pipeline",
+    "data",
+    "fig2",
+    "storm",
+    "evalstorm",
+    "fleet",
+];
 
 #[test]
 fn intra_experiment_sharding_is_byte_identical() {
@@ -96,5 +104,5 @@ fn report_starts_with_seed_header() {
     let report = full_report(7, 2);
     assert!(report.starts_with("# Acme reproduction — seed 7\n\n"));
     // Every experiment contributes a `### id — title` section.
-    assert_eq!(report.matches("\n### ").count(), 38);
+    assert_eq!(report.matches("\n### ").count(), 39);
 }

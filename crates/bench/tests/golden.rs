@@ -32,15 +32,23 @@ const GOLDEN_SEED42_DIGEST: u64 = 0xaf5b_e879_f4df_5a65;
 /// of any earlier experiment.
 const GOLDEN_SEED42_PRE_EVALSTORM_DIGEST: u64 = 0x89fd_d346_f56a_626e;
 
-/// Digest of the full `render_report(42, repro all)`, `evalstorm` included.
-const GOLDEN_SEED42_FULL_DIGEST: u64 = 0x5c06_5f6d_e10d_5238;
+/// Digest of `render_report(42, <pre-fleet registry>)` — the exact bytes
+/// `repro all --seed 42` produced when `evalstorm` was the last
+/// experiment, before `fleet` was appended. Pins down that the streaming
+/// generator rewrite and the sketch-backed telemetry switch moved no byte
+/// of any earlier experiment.
+const GOLDEN_SEED42_PRE_FLEET_DIGEST: u64 = 0x5c06_5f6d_e10d_5238;
+
+/// Digest of the full `render_report(42, repro all)`, `fleet` (at its
+/// default 10⁶ arrivals) included.
+const GOLDEN_SEED42_FULL_DIGEST: u64 = 0x21de_a4b6_0c94_8e4a;
 
 #[test]
 fn repro_all_seed42_pre_storm_prefix_matches_historical_digest() {
     let selection = acme::experiments::select(&["all".to_string()]).unwrap();
     let pre_storm: Vec<_> = selection
         .into_iter()
-        .filter(|e| e.id != "storm" && e.id != "evalstorm")
+        .filter(|e| e.id != "storm" && e.id != "evalstorm" && e.id != "fleet")
         .collect();
     let runs =
         acme::experiments::run_selection(&pre_storm, acme::experiments::RunParams::new(42), 4);
@@ -59,7 +67,7 @@ fn repro_all_seed42_pre_evalstorm_prefix_matches_historical_digest() {
     let selection = acme::experiments::select(&["all".to_string()]).unwrap();
     let pre_evalstorm: Vec<_> = selection
         .into_iter()
-        .filter(|e| e.id != "evalstorm")
+        .filter(|e| e.id != "evalstorm" && e.id != "fleet")
         .collect();
     let runs =
         acme::experiments::run_selection(&pre_evalstorm, acme::experiments::RunParams::new(42), 4);
@@ -71,6 +79,23 @@ fn repro_all_seed42_pre_evalstorm_prefix_matches_historical_digest() {
          {GOLDEN_SEED42_PRE_EVALSTORM_DIGEST:#018x}. The event-driven coordinator rewrite (or \
          another change) perturbed a pre-existing experiment. If the change is intentional, \
          update GOLDEN_SEED42_PRE_EVALSTORM_DIGEST."
+    );
+}
+
+#[test]
+fn repro_all_seed42_pre_fleet_prefix_matches_historical_digest() {
+    let selection = acme::experiments::select(&["all".to_string()]).unwrap();
+    let pre_fleet: Vec<_> = selection.into_iter().filter(|e| e.id != "fleet").collect();
+    let runs =
+        acme::experiments::run_selection(&pre_fleet, acme::experiments::RunParams::new(42), 4);
+    let report = acme_bench::render_report(42, &runs);
+    let digest = fnv1a_64(report.as_bytes());
+    assert_eq!(
+        digest, GOLDEN_SEED42_PRE_FLEET_DIGEST,
+        "seed-42 pre-fleet report drifted: digest {digest:#018x}, expected \
+         {GOLDEN_SEED42_PRE_FLEET_DIGEST:#018x}. The streaming-generator/sketch-telemetry \
+         rewrite (or another change) perturbed a pre-existing experiment. If the change is \
+         intentional, update GOLDEN_SEED42_PRE_FLEET_DIGEST."
     );
 }
 

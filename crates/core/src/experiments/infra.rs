@@ -4,7 +4,7 @@ use acme_cluster::power::CarbonModel;
 use acme_cluster::{ClusterSpec, GpuActivity, HostMemoryBreakdown, Node, ServerPowerModel};
 use acme_sim_core::SimRng;
 use acme_telemetry::counters::metric;
-use acme_telemetry::table::{f, pct, render_cdf_quantiles};
+use acme_telemetry::table::{f, pct, render_quantiles};
 use acme_telemetry::{MetricStore, Table};
 
 use crate::monitor::ClusterMonitor;
@@ -20,9 +20,11 @@ fn stores(seed: u64) -> (MetricStore, MetricStore) {
 }
 
 fn two_cluster_panel(title: &str, m: &str, seren: &MetricStore, kalos: &MetricStore) -> String {
-    let sc = seren.cdf(m).unwrap();
-    let kc = kalos.cdf(m).unwrap();
-    render_cdf_quantiles(title, &[("Seren", &sc), ("Kalos", &kc)], &QS)
+    // Threshold-aware summaries: exact (and byte-identical to the old
+    // Cdf path) at these sample counts, sketch-backed at fleet scale.
+    let sc = seren.summary(m).unwrap();
+    let kc = kalos.summary(m).unwrap();
+    render_quantiles(title, &[("Seren", &sc), ("Kalos", &kc)], &QS)
 }
 
 /// Figure 7 — SM/TC activity, memory footprints, CPU and IB utilization.
@@ -59,16 +61,16 @@ pub fn fig7(seed: u64) -> String {
         &seren,
         &kalos,
     ));
-    let ib_send = seren.cdf(metric::IB_SEND).unwrap();
-    let ib_recv = seren.cdf(metric::IB_RECV).unwrap();
-    out.push_str(&render_cdf_quantiles(
+    let ib_send = seren.summary(metric::IB_SEND).unwrap();
+    let ib_recv = seren.summary(metric::IB_RECV).unwrap();
+    out.push_str(&render_quantiles(
         "(d) normalized IB bandwidth (Seren)",
         &[("send", &ib_send), ("recv", &ib_recv)],
         &QS,
     ));
     out.push_str(&format!(
         "notes: Kalos GPUs >60GB: {}; Seren IB idle share: {}\n",
-        pct(1.0 - kalos.cdf(metric::FB_USED_GB).unwrap().fraction_le(60.0)),
+        pct(1.0 - kalos.summary(metric::FB_USED_GB).unwrap().fraction_le(60.0)),
         pct(ib_send.fraction_le(0.001)),
     ));
     out
@@ -78,14 +80,15 @@ pub fn fig7(seed: u64) -> String {
 pub fn fig8(seed: u64) -> String {
     let (seren, kalos) = stores(seed);
     let mut out = two_cluster_panel("(a) GPU power (W)", metric::GPU_POWER_W, &seren, &kalos);
-    let over_tdp = |s: &MetricStore| 1.0 - s.cdf(metric::GPU_POWER_W).unwrap().fraction_le(400.0);
+    let over_tdp =
+        |s: &MetricStore| 1.0 - s.summary(metric::GPU_POWER_W).unwrap().fraction_le(400.0);
     out.push_str(&format!(
         "share above TDP (400 W): Seren {} (paper 22.1%), Kalos {} (paper 12.5%)\n",
         pct(over_tdp(&seren)),
         pct(over_tdp(&kalos)),
     ));
-    let server = seren.cdf(metric::SERVER_POWER_W).unwrap();
-    out.push_str(&render_cdf_quantiles(
+    let server = seren.summary(metric::SERVER_POWER_W).unwrap();
+    out.push_str(&render_quantiles(
         "(b) Seren server power (W)",
         &[("GPU servers", &server)],
         &QS,
@@ -141,9 +144,9 @@ pub fn fig18(_seed: u64) -> String {
 /// Figure 21 — GPU core and memory temperature CDFs.
 pub fn fig21(seed: u64) -> String {
     let (seren, _) = stores(seed);
-    let core = seren.cdf(metric::GPU_TEMP_C).unwrap();
-    let mem = seren.cdf(metric::GPU_MEM_TEMP_C).unwrap();
-    let mut out = render_cdf_quantiles(
+    let core = seren.summary(metric::GPU_TEMP_C).unwrap();
+    let mem = seren.summary(metric::GPU_MEM_TEMP_C).unwrap();
+    let mut out = render_quantiles(
         "GPU temperature (°C)",
         &[("core", &core), ("memory", &mem)],
         &QS,
@@ -159,7 +162,7 @@ pub fn fig21(seed: u64) -> String {
 pub fn carbon(seed: u64) -> String {
     let mut rng = SimRng::new(seed).fork(303);
     let store = ClusterMonitor::new(ClusterSpec::seren()).sample(&mut rng, 96, 6);
-    let mean_server_w = store.cdf(metric::SERVER_POWER_W).unwrap().mean();
+    let mean_server_w = store.summary(metric::SERVER_POWER_W).unwrap().mean();
     let nodes = ClusterSpec::seren().nodes as f64;
     // One month of wall time.
     let monthly_mwh = mean_server_w * nodes * 730.0 / 1e9 * 1e3; // W→MW × hours

@@ -9,6 +9,7 @@ mod evalstorm;
 mod evaluation;
 mod extensions;
 mod failures;
+mod fleet;
 mod infra;
 pub mod queueing;
 pub mod runner;
@@ -34,20 +35,37 @@ pub struct RunParams {
     pub seed: u64,
     /// Workload multiplier for the heavy experiments (≥ 1).
     pub scale: u32,
+    /// Total arrivals for the open-system `fleet` experiment; the other
+    /// experiments ignore it.
+    pub fleet_jobs: u64,
 }
+
+/// Default arrival count for `repro fleet`: ~267 simulated days of the
+/// combined Seren+Kalos fleet.
+pub const DEFAULT_FLEET_JOBS: u64 = 1_000_000;
 
 impl RunParams {
     /// Default-scale parameters for a seed.
     pub fn new(seed: u64) -> Self {
-        RunParams { seed, scale: 1 }
+        RunParams {
+            seed,
+            scale: 1,
+            fleet_jobs: DEFAULT_FLEET_JOBS,
+        }
     }
 
     /// Parameters with an explicit scale factor (clamped to ≥ 1).
     pub fn with_scale(seed: u64, scale: u32) -> Self {
         RunParams {
-            seed,
             scale: scale.max(1),
+            ..RunParams::new(seed)
         }
+    }
+
+    /// These parameters with a different fleet arrival count.
+    pub fn with_fleet_jobs(mut self, jobs: u64) -> Self {
+        self.fleet_jobs = jobs;
+        self
     }
 }
 
@@ -258,6 +276,11 @@ pub fn all() -> Vec<Experiment> {
             title: "§6.2 stress: fault-tolerant evaluation-campaign ablation",
             run: evalstorm::evalstorm,
         },
+        Experiment {
+            id: "fleet",
+            title: "§2/§3 stress: open-system fleet at 10⁶ streamed arrivals",
+            run: fleet::fleet,
+        },
     ]
 }
 
@@ -338,13 +361,14 @@ mod tests {
             "cache",
             "storm",
             "evalstorm",
+            "fleet",
         ] {
             assert!(ids.contains(&expected), "missing {expected}");
         }
-        assert_eq!(ids.len(), 38);
+        assert_eq!(ids.len(), 39);
         assert_eq!(
             ids.last(),
-            Some(&"evalstorm"),
+            Some(&"fleet"),
             "new experiments append at the end so the historical registry is a stable prefix"
         );
         // Ids unique.
@@ -359,9 +383,12 @@ mod tests {
 
     #[test]
     fn every_experiment_runs_and_is_deterministic() {
+        // Keep the fleet small here; the default 10⁶ arrivals belong to
+        // `repro fleet` and the CI smoke, not the unit suite.
+        let params = RunParams::new(7).with_fleet_jobs(20_000);
         for e in all() {
-            let a = (e.run)(RunParams::new(7));
-            let b = (e.run)(RunParams::new(7));
+            let a = (e.run)(params);
+            let b = (e.run)(params);
             assert!(!a.is_empty(), "{} produced nothing", e.id);
             assert_eq!(a, b, "{} is nondeterministic", e.id);
         }
@@ -392,6 +419,8 @@ mod tests {
     fn with_scale_clamps_zero_to_one() {
         assert_eq!(RunParams::with_scale(1, 0).scale, 1);
         assert_eq!(RunParams::with_scale(1, 16).scale, 16);
+        assert_eq!(RunParams::with_scale(1, 2).fleet_jobs, DEFAULT_FLEET_JOBS);
+        assert_eq!(RunParams::new(1).with_fleet_jobs(5).fleet_jobs, 5);
     }
 
     #[test]

@@ -254,6 +254,69 @@ impl Categorical {
     }
 }
 
+/// Zipf-distributed ranks over `1..=n` with exponent `s`: rank `k` has
+/// weight `k^-s`. This is the tenant-skew model for the open-system fleet
+/// workload — a handful of heavy tenants (pretraining groups) submit most
+/// jobs while a long tail of small tenants submits the rest, matching the
+/// multi-tenant traffic shape the paper describes for Acme.
+///
+/// Sampling reuses the [`Categorical`] cumulative table (O(log n), one
+/// uniform draw), so the stream layout is a single `f64()` per sample and
+/// the sampler is deterministic for a given `(n, s)`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    ranks: Categorical,
+    mean_rank: f64,
+}
+
+impl Zipf {
+    /// Build a Zipf sampler over ranks `1..=n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is not finite and non-negative.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "bad zipf exponent {s}");
+        let weights: Vec<f64> = (1..=n).map(|k| (k as f64).powf(-s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mean_rank = weights
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (i + 1) as f64 * w)
+            .sum::<f64>()
+            / total;
+        Zipf {
+            ranks: Categorical::new(&weights),
+            mean_rank,
+        }
+    }
+
+    /// Draw a 0-based rank index in `0..n` (index 0 is the heaviest rank).
+    pub fn sample_index(&self, rng: &mut SimRng) -> usize {
+        self.ranks.sample_index(rng)
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Never empty (construction rejects `n == 0`).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl Distribution for Zipf {
+    /// Sample the 1-based rank as a float.
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        (self.sample_index(rng) + 1) as f64
+    }
+    fn mean(&self) -> f64 {
+        self.mean_rank
+    }
+}
+
 /// Lanczos approximation of the gamma function, used for Weibull means.
 #[allow(clippy::excessive_precision)] // published Lanczos coefficients
 fn gamma(x: f64) -> f64 {
@@ -421,6 +484,54 @@ mod tests {
     #[should_panic(expected = "weights sum to zero")]
     fn categorical_rejects_all_zero() {
         Categorical::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn zipf_frequencies_are_skewed_and_ordered() {
+        let z = Zipf::new(100, 1.1);
+        assert_eq!(z.len(), 100);
+        assert!(!z.is_empty());
+        let mut rng = SimRng::new(12);
+        let n = 200_000;
+        let mut counts = vec![0u32; 100];
+        for _ in 0..n {
+            counts[z.sample_index(&mut rng)] += 1;
+        }
+        // Rank 1 beats rank 2 beats rank 10 beats rank 100.
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[9]);
+        assert!(counts[9] > counts[99]);
+        // Heaviest rank holds a substantial share; the tail is long.
+        let top = counts[0] as f64 / n as f64;
+        assert!((0.10..0.35).contains(&top), "top share {top:.3}");
+        assert!(counts[99] > 0, "tail ranks must still appear");
+    }
+
+    #[test]
+    fn zipf_exponent_zero_is_uniform() {
+        let z = Zipf::new(8, 0.0);
+        let mut rng = SimRng::new(13);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[z.sample_index(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 1_000.0, "count {c}");
+        }
+        assert!((z.mean() - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_mean_matches_samples() {
+        let z = Zipf::new(64, 1.3);
+        let m = sample_mean(&z, 200_000, 14);
+        assert!((m - z.mean()).abs() / z.mean() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_rejects_zero_ranks() {
+        Zipf::new(0, 1.0);
     }
 
     #[test]

@@ -1,0 +1,302 @@
+//! Exactness-threshold sample accumulation: exact [`Cdf`] below a size
+//! threshold, [`QuantileSketch`] above it.
+//!
+//! Every figure in the scale-1 reproduction is built from at most ~110K
+//! samples — small enough that materializing and sorting is cheap and the
+//! goldens demand the *exact* quantiles. The fleet experiment pushes
+//! 10⁶–10⁷ samples per series, where materializing is exactly the memory
+//! wall this PR removes. [`SampleAccum`] picks per series: it buffers
+//! exactly until [`EXACT_MAX`] samples, then spills the buffer into a
+//! sketch and stays O(sketch) forever after. Below the threshold the
+//! finished [`SampleSummary`] is bit-identical to the historical
+//! `Cdf::from_samples` path (same values, same insertion order, same sort);
+//! above it quantiles carry the sketch's per-instance error bound.
+
+use crate::cdf::Cdf;
+use crate::sketch::QuantileSketch;
+use crate::table::Quantiles;
+
+/// Largest series kept exact. One notch above the biggest series any
+/// scale-1 experiment produces (~110K Seren-month jobs, 4608 GPU samples),
+/// so every golden-checked output takes the exact path; a 2²⁰-sample fleet
+/// series costs 4 MiB transiently at the spill point and sketch-space
+/// after.
+pub const EXACT_MAX: usize = 1 << 19;
+
+#[derive(Debug, Clone)]
+enum Accum {
+    Exact(Vec<f64>),
+    Sketch(QuantileSketch),
+}
+
+/// A sample accumulator that is exact until [`EXACT_MAX`] samples and a
+/// mergeable sketch beyond (see module docs).
+#[derive(Debug, Clone)]
+pub struct SampleAccum {
+    inner: Accum,
+}
+
+impl Default for SampleAccum {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SampleAccum {
+    /// An empty accumulator in the exact regime.
+    pub fn new() -> Self {
+        SampleAccum {
+            inner: Accum::Exact(Vec::new()),
+        }
+    }
+
+    /// Number of samples pushed so far.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            Accum::Exact(v) => v.len(),
+            Accum::Sketch(s) => s.count() as usize,
+        }
+    }
+
+    /// True when nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True while still in the exact regime.
+    pub fn is_exact(&self) -> bool {
+        matches!(self.inner, Accum::Exact(_))
+    }
+
+    /// Push one sample, spilling to the sketch at the threshold.
+    pub fn push(&mut self, x: f64) {
+        match &mut self.inner {
+            Accum::Exact(v) => {
+                v.push(x);
+                if v.len() > EXACT_MAX {
+                    let mut sketch = QuantileSketch::new();
+                    for &s in v.iter() {
+                        sketch.insert(s);
+                    }
+                    self.inner = Accum::Sketch(sketch);
+                }
+            }
+            Accum::Sketch(s) => s.insert(x),
+        }
+    }
+
+    /// Merge another accumulator into this one. Exact⊕exact stays exact
+    /// (until the threshold); anything involving a sketch sketches both
+    /// sides. `other`'s samples land after `self`'s, matching sequential
+    /// pushes.
+    pub fn merge(&mut self, other: &SampleAccum) {
+        match (&mut self.inner, &other.inner) {
+            (Accum::Exact(v), Accum::Exact(o)) => {
+                v.extend_from_slice(o);
+                if v.len() > EXACT_MAX {
+                    let mut sketch = QuantileSketch::new();
+                    for &s in v.iter() {
+                        sketch.insert(s);
+                    }
+                    self.inner = Accum::Sketch(sketch);
+                }
+            }
+            (Accum::Sketch(s), Accum::Sketch(o)) => s.merge(o),
+            (Accum::Sketch(s), Accum::Exact(o)) => {
+                for &x in o {
+                    s.insert(x);
+                }
+            }
+            (Accum::Exact(v), Accum::Sketch(o)) => {
+                let mut sketch = QuantileSketch::new();
+                for &s in v.iter() {
+                    sketch.insert(s);
+                }
+                sketch.merge(o);
+                self.inner = Accum::Sketch(sketch);
+            }
+        }
+    }
+
+    /// Finish into a queryable summary; `None` if nothing was pushed.
+    pub fn finish(self) -> Option<SampleSummary> {
+        match self.inner {
+            Accum::Exact(v) => Cdf::from_samples(v).map(SampleSummary::Exact),
+            Accum::Sketch(s) => Some(SampleSummary::Sketch(s)),
+        }
+    }
+}
+
+/// The finished form of a [`SampleAccum`]: an exact CDF in the small-n
+/// regime, a sketch in the large-n regime. Both answer the same quantile
+/// vocabulary, so rendering code is generic over which one it got.
+#[derive(Debug, Clone)]
+pub enum SampleSummary {
+    /// Exact: every sample retained and sorted.
+    Exact(Cdf),
+    /// Sketched: bounded memory, quantiles within the sketch's rank-error
+    /// bound.
+    Sketch(QuantileSketch),
+}
+
+impl SampleSummary {
+    /// Quantile for `p ∈ [0, 1]` — exact or within the sketch bound.
+    pub fn quantile(&self, p: f64) -> f64 {
+        match self {
+            SampleSummary::Exact(c) => c.quantile(p),
+            SampleSummary::Sketch(s) => s.quantile(p),
+        }
+    }
+
+    /// Arithmetic mean (exact in both regimes, up to summation order).
+    pub fn mean(&self) -> f64 {
+        match self {
+            SampleSummary::Exact(c) => c.mean(),
+            SampleSummary::Sketch(s) => s.mean(),
+        }
+    }
+
+    /// Smallest sample (exact in both regimes).
+    pub fn min(&self) -> f64 {
+        match self {
+            SampleSummary::Exact(c) => c.min(),
+            SampleSummary::Sketch(s) => s.min(),
+        }
+    }
+
+    /// Largest sample (exact in both regimes).
+    pub fn max(&self) -> f64 {
+        match self {
+            SampleSummary::Exact(c) => c.max(),
+            SampleSummary::Sketch(s) => s.max(),
+        }
+    }
+
+    /// Number of samples summarized.
+    pub fn len(&self) -> usize {
+        match self {
+            SampleSummary::Exact(c) => c.len(),
+            SampleSummary::Sketch(s) => s.count() as usize,
+        }
+    }
+
+    /// True when no samples were summarized (never constructed that way).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fraction of samples ≤ `x`.
+    pub fn fraction_le(&self, x: f64) -> f64 {
+        match self {
+            SampleSummary::Exact(c) => c.fraction_le(x),
+            SampleSummary::Sketch(s) => s.fraction_le(x),
+        }
+    }
+
+    /// True when this summary is exact (below the threshold).
+    pub fn is_exact(&self) -> bool {
+        matches!(self, SampleSummary::Exact(_))
+    }
+}
+
+impl Quantiles for SampleSummary {
+    fn quantile(&self, p: f64) -> f64 {
+        SampleSummary::quantile(self, p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_n_matches_cdf_exactly() {
+        let samples: Vec<f64> = (0..1000).map(|i| ((i * 31) % 257) as f64).collect();
+        let mut a = SampleAccum::new();
+        for &x in &samples {
+            a.push(x);
+        }
+        assert!(a.is_exact());
+        let summary = a.finish().unwrap();
+        assert!(summary.is_exact());
+        let exact = Cdf::from_samples(samples).unwrap();
+        for &p in &[0.0, 0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(summary.quantile(p).to_bits(), exact.quantile(p).to_bits());
+        }
+        assert_eq!(summary.mean().to_bits(), exact.mean().to_bits());
+    }
+
+    #[test]
+    fn spills_past_threshold_and_stays_bounded() {
+        let mut a = SampleAccum::new();
+        for i in 0..(EXACT_MAX + 10_000) {
+            a.push(((i * 7) % 100_003) as f64);
+        }
+        assert!(!a.is_exact());
+        assert_eq!(a.len(), EXACT_MAX + 10_000);
+        let summary = a.finish().unwrap();
+        assert!(!summary.is_exact());
+        // Quantiles still land in-range and monotone after the spill.
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=10 {
+            let q = summary.quantile(i as f64 / 10.0);
+            assert!(q >= last && q >= summary.min() && q <= summary.max());
+            last = q;
+        }
+    }
+
+    #[test]
+    fn merge_exact_pair_matches_sequential_pushes() {
+        let (xs, ys): (Vec<f64>, Vec<f64>) = (
+            (0..500).map(|i| i as f64).collect(),
+            (0..500).map(|i| (i * 3) as f64).collect(),
+        );
+        let mut merged = SampleAccum::new();
+        for &x in &xs {
+            merged.push(x);
+        }
+        let mut b = SampleAccum::new();
+        for &y in &ys {
+            b.push(y);
+        }
+        merged.merge(&b);
+        let mut seq = SampleAccum::new();
+        for &x in xs.iter().chain(&ys) {
+            seq.push(x);
+        }
+        let (m, s) = (merged.finish().unwrap(), seq.finish().unwrap());
+        assert_eq!(m.quantile(0.5).to_bits(), s.quantile(0.5).to_bits());
+        assert_eq!(m.mean().to_bits(), s.mean().to_bits());
+    }
+
+    #[test]
+    fn merge_across_regimes_keeps_count_and_extremes() {
+        let mut big = SampleAccum::new();
+        for i in 0..(EXACT_MAX + 5) {
+            big.push(i as f64);
+        }
+        let mut small = SampleAccum::new();
+        small.push(-10.0);
+        small.push(1e9);
+
+        let mut a = big.clone();
+        a.merge(&small);
+        let sa = a.finish().unwrap();
+        assert_eq!(sa.len(), EXACT_MAX + 7);
+        assert_eq!(sa.min(), -10.0);
+        assert_eq!(sa.max(), 1e9);
+
+        let mut b = small;
+        b.merge(&big);
+        let sb = b.finish().unwrap();
+        assert_eq!(sb.len(), EXACT_MAX + 7);
+        assert_eq!(sb.min(), -10.0);
+        assert_eq!(sb.max(), 1e9);
+    }
+
+    #[test]
+    fn empty_finishes_to_none() {
+        assert!(SampleAccum::new().finish().is_none());
+        assert!(SampleAccum::new().is_empty());
+    }
+}

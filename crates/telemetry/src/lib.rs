@@ -8,20 +8,27 @@
 //! * [`series::TimeSeries`] — timestamped gauges sampled at the paper's 15 s
 //!   monitoring cadence (Figures 10, 13, 14, 22);
 //! * [`counters::MetricStore`] — a DCGM-like registry of per-entity metrics;
+//! * [`sketch::QuantileSketch`] — deterministic mergeable quantile sketch for
+//!   fleet-scale (10⁶⁺-sample) series;
+//! * [`accum::SampleAccum`] — exact below a size threshold, sketch above;
 //! * [`table`] — plain-text rendering for the repro harness output.
 
 #![warn(missing_docs)]
 
+pub mod accum;
 pub mod boxplot;
 pub mod cdf;
 pub mod counters;
 pub mod histogram;
 pub mod series;
+pub mod sketch;
 pub mod table;
 
+pub use accum::{SampleAccum, SampleSummary, EXACT_MAX};
 pub use boxplot::BoxplotStats;
 pub use cdf::Cdf;
-pub use counters::MetricStore;
+pub use counters::{MetricSink, MetricStore, SummaryStore};
 pub use histogram::Histogram;
 pub use series::TimeSeries;
-pub use table::Table;
+pub use sketch::QuantileSketch;
+pub use table::{Quantiles, Table};

@@ -211,48 +211,114 @@ impl WorkloadGenerator {
     /// Arrivals follow a Poisson process at the calibrated rate; job ids
     /// start at `first_id`. Queue delays are zero — the scheduler simulation
     /// fills them in for Figure 6.
+    ///
+    /// This is exactly [`Self::stream`] collected: the closed-world trace
+    /// is the materialization of the open-system arrival stream, drawing
+    /// the same RNG values in the same order.
     pub fn generate(&self, rng: &mut SimRng, days: f64, first_id: u64) -> ClusterWorkload {
-        let horizon = SimDuration::from_secs_f64(days * 86_400.0);
-        let interarrival = Exponential::with_mean(86_400.0 / self.jobs_per_day);
-        let type_picker = Categorical::new(
-            &self
-                .profiles
-                .iter()
-                .map(|p| p.count_weight)
-                .collect::<Vec<_>>(),
-        );
-
-        // Pre-build per-type samplers once.
-        let samplers: Vec<ProfileSampler> = self.profiles.iter().map(ProfileSampler::new).collect();
-
-        let mut jobs = Vec::new();
-        let mut t = SimTime::ZERO;
-        let mut id = first_id;
-        loop {
-            t += SimDuration::from_secs_f64(interarrival.sample(rng));
-            if t.saturating_since(SimTime::ZERO) > horizon {
-                break;
-            }
-            let p = type_picker.sample_index(rng);
-            jobs.push(samplers[p].sample(self.cluster, id, t, &self.profiles[p], rng));
-            id += 1;
-        }
         ClusterWorkload {
             cluster: self.cluster,
-            jobs,
+            jobs: self.stream(rng, days, first_id).collect(),
+        }
+    }
+
+    /// Lazily yield `days` of submissions one [`JobRecord`] at a time —
+    /// the open-system view of the same process [`Self::generate`]
+    /// materializes. The generator borrows `rng`, so sequential callers
+    /// observe the identical post-stream RNG state the closed-world loop
+    /// left behind.
+    pub fn stream<'a>(
+        &'a self,
+        rng: &'a mut SimRng,
+        days: f64,
+        first_id: u64,
+    ) -> StreamingGenerator<'a> {
+        StreamingGenerator {
+            generator: self,
+            rng,
+            horizon: SimDuration::from_secs_f64(days * 86_400.0),
+            interarrival: Exponential::with_mean(86_400.0 / self.jobs_per_day),
+            type_picker: Categorical::new(
+                &self
+                    .profiles
+                    .iter()
+                    .map(|p| p.count_weight)
+                    .collect::<Vec<_>>(),
+            ),
+            samplers: self.profiles.iter().map(ProfileSampler::new).collect(),
+            t: SimTime::ZERO,
+            id: first_id,
+            done: false,
         }
     }
 }
 
-/// Cached samplers for one profile.
-struct ProfileSampler {
+/// A lazy open-system arrival stream over one cluster's calibrated
+/// workload: each `next()` draws one Poisson inter-arrival gap and one
+/// job's type/demand/status/duration, in the exact order the historical
+/// closed-world loop drew them. Memory is O(1) in stream length, which is
+/// what lets the fleet experiment push 10⁶⁺ jobs without materializing a
+/// trace.
+pub struct StreamingGenerator<'a> {
+    generator: &'a WorkloadGenerator,
+    rng: &'a mut SimRng,
+    horizon: SimDuration,
+    interarrival: Exponential,
+    type_picker: Categorical,
+    samplers: Vec<ProfileSampler>,
+    t: SimTime,
+    id: u64,
+    done: bool,
+}
+
+impl StreamingGenerator<'_> {
+    /// The submission clock after the most recent arrival.
+    pub fn current_time(&self) -> SimTime {
+        self.t
+    }
+
+    /// The id the next yielded job will carry.
+    pub fn next_id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Iterator for StreamingGenerator<'_> {
+    type Item = JobRecord;
+
+    fn next(&mut self) -> Option<JobRecord> {
+        if self.done {
+            return None;
+        }
+        self.t += SimDuration::from_secs_f64(self.interarrival.sample(self.rng));
+        if self.t.saturating_since(SimTime::ZERO) > self.horizon {
+            self.done = true;
+            return None;
+        }
+        let p = self.type_picker.sample_index(self.rng);
+        let job = self.samplers[p].sample(
+            self.generator.cluster,
+            self.id,
+            self.t,
+            &self.generator.profiles[p],
+            self.rng,
+        );
+        self.id += 1;
+        Some(job)
+    }
+}
+
+/// Cached samplers for one profile. `pub(crate)` so the fleet stream in
+/// [`crate::stream`] can draw per-job attributes with the exact
+/// closed-world draw order.
+pub(crate) struct ProfileSampler {
     demand: Categorical,
     duration: LogNormal,
     status: Categorical,
 }
 
 impl ProfileSampler {
-    fn new(p: &TypeProfile) -> Self {
+    pub(crate) fn new(p: &TypeProfile) -> Self {
         ProfileSampler {
             demand: Categorical::new(&p.demand.iter().map(|&(_, w)| w).collect::<Vec<_>>()),
             duration: LogNormal::from_median_mean(p.duration_median_mins, p.duration_mean_mins),
@@ -260,7 +326,7 @@ impl ProfileSampler {
         }
     }
 
-    fn sample(
+    pub(crate) fn sample(
         &self,
         cluster: Cluster,
         id: u64,
@@ -497,6 +563,34 @@ mod tests {
         let a = WorkloadGenerator::kalos().generate(&mut r1, 10.0, 0);
         let b = WorkloadGenerator::kalos().generate(&mut r2, 10.0, 0);
         assert_eq!(a.jobs, b.jobs);
+    }
+
+    #[test]
+    fn stream_collect_equals_generate() {
+        let g = WorkloadGenerator::seren();
+        let mut r1 = SimRng::new(11);
+        let mut r2 = SimRng::new(11);
+        let closed = g.generate(&mut r1, 3.0, 50);
+        let streamed: Vec<JobRecord> = g.stream(&mut r2, 3.0, 50).collect();
+        assert_eq!(closed.jobs, streamed);
+        // Parent RNG state advances identically (next draw agrees).
+        assert_eq!(r1.next_u64(), r2.next_u64());
+    }
+
+    #[test]
+    fn stream_is_lazy_and_fused() {
+        let g = WorkloadGenerator::kalos();
+        let mut rng = SimRng::new(5);
+        let mut s = g.stream(&mut rng, 2.0, 0);
+        assert_eq!(s.next_id(), 0);
+        let first = s.next().unwrap();
+        assert_eq!(first.id, 0);
+        assert_eq!(s.next_id(), 1);
+        assert!(s.current_time() >= first.submit);
+        let rest: Vec<JobRecord> = s.by_ref().collect();
+        assert!(!rest.is_empty());
+        assert!(s.next().is_none(), "stays exhausted after the horizon");
+        assert!(s.next().is_none());
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //! * [`generator`] — the Seren/Kalos generators (Figures 3–6, 17);
 //! * [`datacenters`] — Philly/Helios/PAI-shaped reference generators for the
 //!   cross-datacenter comparisons (Table 2, Figure 2);
-//! * [`stats`] — the aggregation used to regenerate every §3 figure.
+//! * [`stats`] — the aggregation used to regenerate every §3 figure,
+//!   including the bounded-memory [`stats::StreamTraceStats`];
+//! * [`stream`] — the open-system fleet: sharded multi-tenant Zipf/Poisson
+//!   arrival streams for 10⁶⁺-job runs.
 
 #![warn(missing_docs)]
 
@@ -19,8 +22,10 @@ pub mod datacenters;
 pub mod generator;
 pub mod job;
 pub mod stats;
+pub mod stream;
 pub mod trace_io;
 
-pub use generator::{ClusterWorkload, WorkloadGenerator};
+pub use generator::{ClusterWorkload, StreamingGenerator, WorkloadGenerator};
 pub use job::{JobRecord, JobStatus, JobType};
-pub use stats::TraceStats;
+pub use stats::{StreamTraceStats, TraceStats};
+pub use stream::{FleetConfig, FleetJob, FleetShardStats, FleetStream};

@@ -1,16 +1,253 @@
 //! Trace aggregation: the numbers behind Figures 3, 4, 5, 6 and 17.
+//!
+//! Two layers. [`StreamTraceStats`] is a bounded-memory accumulator —
+//! fixed-size per-type/per-status/per-demand-bucket counters plus an
+//! optional duration sketch — that jobs are `push`ed into one at a time
+//! and shards `merge` together; it never retains a job. [`TraceStats`]
+//! wraps a materialized slice (the closed-world figures need per-type
+//! sample vectors for boxplots and CDFs) and delegates every aggregate
+//! table to an internal `StreamTraceStats` built by pushing the slice in
+//! job order — each accumulator then receives exactly the additions the
+//! historical per-figure passes performed, in the same order, keeping the
+//! floating-point output bit-identical.
 
-use std::collections::BTreeMap;
-
-use acme_telemetry::{BoxplotStats, Cdf};
+use acme_telemetry::{BoxplotStats, Cdf, QuantileSketch};
 
 use crate::job::{JobRecord, JobStatus, JobType};
+
+/// Power-of-two GPU-demand thresholds 1..4096 (Figure 3's x-axis).
+const DEMAND_K: usize = 13;
+
+/// Bounded-memory aggregate statistics over a job stream (see module
+/// docs). `push` jobs in, `merge` shards together, read the Figure 3/4/17
+/// tables out — memory is O(1) in stream length (plus the optional
+/// duration sketch).
+#[derive(Debug, Clone)]
+pub struct StreamTraceStats {
+    jobs: usize,
+    gpus_sum: f64,
+    total_gpu_seconds: f64,
+    type_counts: [usize; JobType::ALL.len()],
+    type_gpu_secs: [f64; JobType::ALL.len()],
+    status_counts: [usize; JobStatus::ALL.len()],
+    status_gpu_secs: [f64; JobStatus::ALL.len()],
+    demand_count_sums: [f64; DEMAND_K],
+    demand_count_total: f64,
+    demand_time_sums: [f64; DEMAND_K],
+    demand_time_total: f64,
+    duration_sketch: Option<QuantileSketch>,
+}
+
+impl Default for StreamTraceStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamTraceStats {
+    /// An empty accumulator with no duration sketch.
+    pub fn new() -> Self {
+        StreamTraceStats {
+            jobs: 0,
+            gpus_sum: 0.0,
+            total_gpu_seconds: 0.0,
+            type_counts: [0; JobType::ALL.len()],
+            type_gpu_secs: [0.0; JobType::ALL.len()],
+            status_counts: [0; JobStatus::ALL.len()],
+            status_gpu_secs: [0.0; JobStatus::ALL.len()],
+            demand_count_sums: [0.0; DEMAND_K],
+            demand_count_total: 0.0,
+            demand_time_sums: [0.0; DEMAND_K],
+            demand_time_total: 0.0,
+            duration_sketch: None,
+        }
+    }
+
+    /// An empty accumulator that additionally sketches job durations
+    /// (minutes) at per-level capacity `k`, for quantile reporting over
+    /// streams too large to materialize.
+    pub fn with_duration_sketch(k: usize) -> Self {
+        let mut s = Self::new();
+        s.duration_sketch = Some(QuantileSketch::with_capacity(k));
+        s
+    }
+
+    /// Fold one job into every aggregate.
+    pub fn push(&mut self, j: &JobRecord) {
+        self.jobs += 1;
+        self.gpus_sum += f64::from(j.gpus);
+        let gs = j.gpu_seconds();
+        self.total_gpu_seconds += gs;
+
+        let ti = JobType::ALL
+            .iter()
+            .position(|&t| t == j.job_type)
+            .expect("type outside JobType::ALL");
+        self.type_counts[ti] += 1;
+        self.type_gpu_secs[ti] += gs;
+
+        let si = JobStatus::ALL
+            .iter()
+            .position(|&s| s == j.status)
+            .expect("status outside JobStatus::ALL");
+        self.status_counts[si] += 1;
+        self.status_gpu_secs[si] += gs;
+
+        // Smallest k with 2^k ≥ gpus (jobs over 4096 GPUs fall past the
+        // last threshold and contribute only to the totals).
+        let k = if j.gpus <= 1 {
+            0
+        } else {
+            (32 - (j.gpus - 1).leading_zeros()) as usize
+        };
+        self.demand_count_total += 1.0;
+        self.demand_time_total += gs;
+        if k < DEMAND_K {
+            for s in &mut self.demand_count_sums[k..] {
+                *s += 1.0;
+            }
+            for s in &mut self.demand_time_sums[k..] {
+                *s += gs;
+            }
+        }
+
+        if let Some(sketch) = &mut self.duration_sketch {
+            sketch.insert(j.duration.as_mins_f64());
+        }
+    }
+
+    /// Release slack sketch capacity (see
+    /// [`QuantileSketch::shrink_to_fit`]). No-op without a sketch.
+    pub fn shrink_to_fit(&mut self) {
+        if let Some(sketch) = &mut self.duration_sketch {
+            sketch.shrink_to_fit();
+        }
+    }
+
+    /// Combine another shard's aggregates into this one. Counters add;
+    /// sketches merge. Deterministic for a fixed merge order (float sums
+    /// reassociate across shard boundaries, so merged totals are equal to
+    /// sequential pushes up to rounding, not bit-identical — the fleet
+    /// experiment always merges in shard order).
+    ///
+    /// # Panics
+    /// Panics when exactly one side carries a duration sketch.
+    pub fn merge(&mut self, other: &StreamTraceStats) {
+        self.jobs += other.jobs;
+        self.gpus_sum += other.gpus_sum;
+        self.total_gpu_seconds += other.total_gpu_seconds;
+        for i in 0..JobType::ALL.len() {
+            self.type_counts[i] += other.type_counts[i];
+            self.type_gpu_secs[i] += other.type_gpu_secs[i];
+        }
+        for i in 0..JobStatus::ALL.len() {
+            self.status_counts[i] += other.status_counts[i];
+            self.status_gpu_secs[i] += other.status_gpu_secs[i];
+        }
+        for k in 0..DEMAND_K {
+            self.demand_count_sums[k] += other.demand_count_sums[k];
+            self.demand_time_sums[k] += other.demand_time_sums[k];
+        }
+        self.demand_count_total += other.demand_count_total;
+        self.demand_time_total += other.demand_time_total;
+        match (&mut self.duration_sketch, &other.duration_sketch) {
+            (Some(a), Some(b)) => a.merge(b),
+            (None, None) => {}
+            _ => panic!("cannot merge stats with and without a duration sketch"),
+        }
+    }
+
+    /// Number of jobs pushed.
+    pub fn len(&self) -> usize {
+        self.jobs
+    }
+
+    /// True when nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.jobs == 0
+    }
+
+    /// Total GPU time in GPU-hours.
+    pub fn total_gpu_hours(&self) -> f64 {
+        self.total_gpu_seconds / 3600.0
+    }
+
+    /// Total GPU time in GPU-seconds.
+    pub fn total_gpu_seconds(&self) -> f64 {
+        self.total_gpu_seconds
+    }
+
+    /// Average requested GPUs per job.
+    pub fn avg_gpus(&self) -> f64 {
+        self.gpus_sum / self.jobs as f64
+    }
+
+    /// `(type, count_share, gpu_time_share)` rows — Figure 4. Types absent
+    /// from the stream are omitted. Emitted in `JobType::ALL` order, which
+    /// is the type's `Ord` order.
+    pub fn type_shares(&self) -> Vec<(JobType, f64, f64)> {
+        JobType::ALL
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| self.type_counts[i] > 0)
+            .map(|(i, &ty)| {
+                (
+                    ty,
+                    self.type_counts[i] as f64 / self.jobs as f64,
+                    self.type_gpu_secs[i] / self.total_gpu_seconds,
+                )
+            })
+            .collect()
+    }
+
+    /// `(status, count_share, gpu_time_share)` rows — Figure 17. All three
+    /// statuses are always emitted.
+    pub fn status_shares(&self) -> Vec<(JobStatus, f64, f64)> {
+        JobStatus::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                (
+                    s,
+                    self.status_counts[i] as f64 / self.jobs as f64,
+                    self.status_gpu_secs[i] / self.total_gpu_seconds,
+                )
+            })
+            .collect()
+    }
+
+    /// Figure 3(a): cumulative fraction of *job count* at each
+    /// power-of-two GPU demand.
+    pub fn demand_count_cdf(&self) -> Vec<(u32, f64)> {
+        (0..DEMAND_K)
+            .map(|k| {
+                (
+                    1u32 << k,
+                    self.demand_count_sums[k] / self.demand_count_total,
+                )
+            })
+            .collect()
+    }
+
+    /// Figure 3(b): cumulative fraction of *GPU time* at each power-of-two
+    /// GPU demand.
+    pub fn demand_gpu_time_cdf(&self) -> Vec<(u32, f64)> {
+        (0..DEMAND_K)
+            .map(|k| (1u32 << k, self.demand_time_sums[k] / self.demand_time_total))
+            .collect()
+    }
+
+    /// The duration sketch (minutes), when this accumulator carries one.
+    pub fn duration_sketch(&self) -> Option<&QuantileSketch> {
+        self.duration_sketch.as_ref()
+    }
+}
 
 /// Aggregate statistics over a job trace.
 #[derive(Debug)]
 pub struct TraceStats<'a> {
     jobs: &'a [JobRecord],
-    total_gpu_seconds: f64,
+    agg: StreamTraceStats,
 }
 
 impl<'a> TraceStats<'a> {
@@ -20,11 +257,11 @@ impl<'a> TraceStats<'a> {
     /// Panics on an empty trace — every consumer needs at least one job.
     pub fn new(jobs: &'a [JobRecord]) -> Self {
         assert!(!jobs.is_empty(), "empty trace");
-        let total_gpu_seconds = jobs.iter().map(|j| j.gpu_seconds()).sum();
-        TraceStats {
-            jobs,
-            total_gpu_seconds,
+        let mut agg = StreamTraceStats::new();
+        for j in jobs {
+            agg.push(j);
         }
+        TraceStats { jobs, agg }
     }
 
     /// Number of jobs.
@@ -39,12 +276,12 @@ impl<'a> TraceStats<'a> {
 
     /// Total GPU time in GPU-hours.
     pub fn total_gpu_hours(&self) -> f64 {
-        self.total_gpu_seconds / 3600.0
+        self.agg.total_gpu_hours()
     }
 
     /// Average requested GPUs per job.
     pub fn avg_gpus(&self) -> f64 {
-        self.jobs.iter().map(|j| j.gpus as f64).sum::<f64>() / self.jobs.len() as f64
+        self.agg.avg_gpus()
     }
 
     /// CDF of job runtimes in minutes (Figure 2a / 6a).
@@ -70,53 +307,16 @@ impl<'a> TraceStats<'a> {
     }
 
     /// `(type, count_share, gpu_time_share)` rows — Figure 4. Types absent
-    /// from the trace are omitted.
+    /// from the trace are omitted. Each type's accumulator received
+    /// exactly the additions the historical per-type map made, in job
+    /// order, so shares are bit-identical to the materialized original.
     pub fn type_shares(&self) -> Vec<(JobType, f64, f64)> {
-        let mut counts: BTreeMap<JobType, (usize, f64)> = BTreeMap::new();
-        for j in self.jobs {
-            let e = counts.entry(j.job_type).or_insert((0, 0.0));
-            e.0 += 1;
-            e.1 += j.gpu_seconds();
-        }
-        counts
-            .into_iter()
-            .map(|(ty, (n, t))| {
-                (
-                    ty,
-                    n as f64 / self.jobs.len() as f64,
-                    t / self.total_gpu_seconds,
-                )
-            })
-            .collect()
+        self.agg.type_shares()
     }
 
     /// `(status, count_share, gpu_time_share)` rows — Figure 17.
     pub fn status_shares(&self) -> Vec<(JobStatus, f64, f64)> {
-        // Single pass with one accumulator per status: each status's sum
-        // receives exactly the additions the per-status filter pass made,
-        // in the same job order, so the floating-point totals are
-        // bit-identical to the multi-pass original.
-        let mut counts = [0usize; JobStatus::ALL.len()];
-        let mut times = [0.0f64; JobStatus::ALL.len()];
-        for j in self.jobs {
-            let i = JobStatus::ALL
-                .iter()
-                .position(|&s| s == j.status)
-                .expect("status outside JobStatus::ALL");
-            counts[i] += 1;
-            times[i] += j.gpu_seconds();
-        }
-        JobStatus::ALL
-            .iter()
-            .enumerate()
-            .map(|(i, &s)| {
-                (
-                    s,
-                    counts[i] as f64 / self.jobs.len() as f64,
-                    times[i] / self.total_gpu_seconds,
-                )
-            })
-            .collect()
+        self.agg.status_shares()
     }
 
     /// Per-type GPU-demand box plots — Figure 5.
@@ -144,43 +344,18 @@ impl<'a> TraceStats<'a> {
     }
 
     /// Figure 3(a): cumulative fraction of *job count* for jobs requesting
-    /// ≤ each power-of-two GPU demand.
+    /// ≤ each power-of-two GPU demand. The streaming accumulator scattered
+    /// each job's weight into every threshold ≥ its demand, in job order —
+    /// exactly the additions the original 13 filtered passes performed,
+    /// so results are bit-identical.
     pub fn demand_count_cdf(&self) -> Vec<(u32, f64)> {
-        self.demand_cdf(|_| 1.0)
+        self.agg.demand_count_cdf()
     }
 
     /// Figure 3(b): cumulative fraction of *GPU time* for jobs requesting
     /// ≤ each power-of-two GPU demand.
     pub fn demand_gpu_time_cdf(&self) -> Vec<(u32, f64)> {
-        self.demand_cdf(|j| j.gpu_seconds())
-    }
-
-    fn demand_cdf(&self, weight: impl Fn(&JobRecord) -> f64) -> Vec<(u32, f64)> {
-        // Thresholds are the powers of two 1..4096. One pass scatters each
-        // job's weight into every threshold ≥ its demand, in job order —
-        // each threshold therefore accumulates exactly the additions the
-        // original 13 filtered passes performed, in the same order, and
-        // the floating-point results are bit-identical.
-        const K: usize = 13;
-        let mut sums = [0.0f64; K];
-        let mut total = 0.0f64;
-        for j in self.jobs {
-            let w = weight(j);
-            total += w;
-            // Smallest k with 2^k ≥ gpus (jobs over 4096 GPUs fall past
-            // the last threshold and contribute only to the total).
-            let k = if j.gpus <= 1 {
-                0
-            } else {
-                (32 - (j.gpus - 1).leading_zeros()) as usize
-            };
-            if k < K {
-                for s in &mut sums[k..] {
-                    *s += w;
-                }
-            }
-        }
-        (0..K).map(|k| (1u32 << k, sums[k] / total)).collect()
+        self.agg.demand_gpu_time_cdf()
     }
 
     /// Per-type duration CDFs in minutes — Figure 6(a/c).
@@ -348,5 +523,82 @@ mod tests {
         let s = TraceStats::new(&jobs);
         let c = s.duration_cdf();
         assert!((c.median() - 7.0).abs() < 1e-9); // between 4 and 10
+    }
+
+    #[test]
+    fn streaming_push_matches_trace_stats_bitwise() {
+        let mut rng = SimRng::new(21);
+        let w = WorkloadGenerator::seren().generate(&mut rng, 5.0, 0);
+        let trace = TraceStats::new(&w.jobs);
+        let mut stream = StreamTraceStats::new();
+        for j in &w.jobs {
+            stream.push(j);
+        }
+        assert_eq!(stream.len(), trace.len());
+        assert_eq!(stream.avg_gpus().to_bits(), trace.avg_gpus().to_bits());
+        assert_eq!(
+            stream.total_gpu_hours().to_bits(),
+            trace.total_gpu_hours().to_bits()
+        );
+        for (a, b) in stream.type_shares().iter().zip(trace.type_shares()) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+            assert_eq!(a.2.to_bits(), b.2.to_bits());
+        }
+        for (a, b) in stream
+            .demand_count_cdf()
+            .iter()
+            .zip(trace.demand_count_cdf())
+        {
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+    }
+
+    #[test]
+    fn merged_shards_agree_with_sequential_stream() {
+        let mut rng = SimRng::new(22);
+        let w = WorkloadGenerator::kalos().generate(&mut rng, 20.0, 0);
+        let mut seq = StreamTraceStats::with_duration_sketch(256);
+        for j in &w.jobs {
+            seq.push(j);
+        }
+        let mid = w.jobs.len() / 2;
+        let mut left = StreamTraceStats::with_duration_sketch(256);
+        let mut right = StreamTraceStats::with_duration_sketch(256);
+        for j in &w.jobs[..mid] {
+            left.push(j);
+        }
+        for j in &w.jobs[mid..] {
+            right.push(j);
+        }
+        left.merge(&right);
+        assert_eq!(left.len(), seq.len());
+        // Integer counters are exact across the merge.
+        for (a, b) in left.status_shares().iter().zip(seq.status_shares()) {
+            assert_eq!(a.0, b.0);
+            assert!((a.1 - b.1).abs() < 1e-12);
+        }
+        // Float sums reassociate across the shard boundary: equal up to
+        // rounding, not bitwise.
+        assert!((left.total_gpu_hours() - seq.total_gpu_hours()).abs() < 1e-6);
+        // Sketch survives the merge with the full population.
+        let sk = left.duration_sketch().unwrap();
+        assert_eq!(sk.count(), w.jobs.len() as u64);
+        assert_eq!(sk.min(), seq.duration_sketch().unwrap().min());
+    }
+
+    #[test]
+    fn empty_stream_stats() {
+        let s = StreamTraceStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(s.duration_sketch().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "with and without a duration sketch")]
+    fn merge_rejects_sketch_mismatch() {
+        let mut a = StreamTraceStats::new();
+        a.merge(&StreamTraceStats::with_duration_sketch(64));
     }
 }

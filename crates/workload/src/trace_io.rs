@@ -75,14 +75,25 @@ fn parse_cluster(s: &str) -> Option<Cluster> {
     }
 }
 
-/// Serialize a trace to CSV (header + one row per job).
-pub fn to_csv(jobs: &[JobRecord]) -> String {
-    let mut out = String::with_capacity(64 * (jobs.len() + 1));
-    out.push_str(HEADER);
-    out.push('\n');
+/// Stream a trace as CSV (header + one row per job) into a [`Write`]
+/// sink, one row at a time. Memory is O(1) in trace length — this is the
+/// export path for streamed fleet-scale traces, where [`to_csv`]'s full
+/// output `String` would be the exact materialization the streaming
+/// generator avoids. Bytes are identical to [`to_csv`].
+///
+/// [`Write`]: std::io::Write
+pub fn write_csv<W, I, J>(sink: &mut W, jobs: I) -> std::io::Result<()>
+where
+    W: std::io::Write,
+    I: IntoIterator<Item = J>,
+    J: std::borrow::Borrow<JobRecord>,
+{
+    writeln!(sink, "{HEADER}")?;
     for j in jobs {
-        out.push_str(&format!(
-            "{},{},{},{},{},{},{},{}\n",
+        let j = j.borrow();
+        writeln!(
+            sink,
+            "{},{},{},{},{},{},{},{}",
             j.id,
             cluster_tag(j.cluster),
             type_tag(j.job_type),
@@ -91,9 +102,18 @@ pub fn to_csv(jobs: &[JobRecord]) -> String {
             j.duration.as_micros(),
             j.gpus,
             status_tag(j.status),
-        ));
+        )?;
     }
-    out
+    Ok(())
+}
+
+/// Serialize a trace to CSV (header + one row per job). Collects
+/// [`write_csv`] into a `String`; prefer `write_csv` when the trace is
+/// large or already streaming.
+pub fn to_csv(jobs: &[JobRecord]) -> String {
+    let mut out = Vec::with_capacity(64 * (jobs.len() + 1));
+    write_csv(&mut out, jobs).expect("writing CSV to a Vec cannot fail");
+    String::from_utf8(out).expect("CSV output is ASCII")
 }
 
 /// Parse a CSV trace produced by [`to_csv`] (or hand-authored in the same
@@ -199,6 +219,32 @@ mod tests {
                 column: "cluster"
             })
         );
+    }
+
+    #[test]
+    fn write_csv_streams_the_same_bytes() {
+        let jobs = sample();
+        let eager = to_csv(&jobs);
+        // Streamed through a Write sink from an iterator of owned records
+        // (the fleet path: no materialized slice anywhere).
+        let mut streamed = Vec::new();
+        write_csv(&mut streamed, jobs.iter().cloned()).unwrap();
+        assert_eq!(eager.as_bytes(), streamed.as_slice());
+    }
+
+    #[test]
+    fn write_csv_propagates_sink_errors() {
+        struct FailingSink;
+        impl std::io::Write for FailingSink {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("sink full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = write_csv(&mut FailingSink, sample().iter()).unwrap_err();
+        assert_eq!(err.to_string(), "sink full");
     }
 
     #[test]

@@ -50,6 +50,24 @@ proptest! {
         }
     }
 
+    /// The streaming generator is the closed-world generator, lazily: any
+    /// prefix of the stream equals the same prefix of the materialized
+    /// trace, record for record, at every seed and horizon.
+    #[test]
+    fn stream_prefix_equals_closed_world_trace(seed in any::<u64>(), days in 1.0f64..10.0, take in 1usize..64) {
+        let mut eager_rng = SimRng::new(seed);
+        let eager = WorkloadGenerator::kalos().generate(&mut eager_rng, days, 3).jobs;
+        let mut lazy_rng = SimRng::new(seed);
+        let generator = WorkloadGenerator::kalos();
+        let prefix: Vec<_> = generator.stream(&mut lazy_rng, days, 3).take(take).collect();
+        prop_assert!(prefix.len() <= eager.len());
+        prop_assert_eq!(&prefix[..], &eager[..prefix.len()]);
+        // Consuming the whole stream reproduces the whole trace.
+        let mut full_rng = SimRng::new(seed);
+        let full: Vec<_> = generator.stream(&mut full_rng, days, 3).collect();
+        prop_assert_eq!(full, eager);
+    }
+
     /// CPU-job generation is well-formed too.
     #[test]
     fn cpu_jobs_well_formed(seed in any::<u64>(), days in 1.0f64..20.0) {
