@@ -15,7 +15,10 @@
 //!
 //! The JSON is parsed with a purpose-built scanner (schema:
 //! `{seed, jobs, wall_ms, experiments: [{id, ms}, ...]}`) — the workspace
-//! deliberately carries no serde.
+//! deliberately carries no serde. The scanner keys on `id` and `ms` only,
+//! so extra per-experiment fields (`events_processed`, `max_queue_depth`
+//! from the flight-recorder PR) and extra header fields pass through
+//! untouched.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -235,6 +238,28 @@ mod tests {
         // And a dump without the section still parses.
         let legacy = SAMPLE.split(",\n  \"shards\"").next().unwrap().to_owned() + "\n}\n";
         assert_eq!(parse_timings(&legacy).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn tolerates_event_queue_counter_fields() {
+        // The flight-recorder PR added per-experiment queue counters; the
+        // scanner must keep extracting (id, ms) and ignore the rest.
+        let with_counters = r#"{
+  "seed": 42,
+  "jobs": 4,
+  "wall_ms": 100.0,
+  "peak_rss_bytes": 123456,
+  "experiments": [
+    {"id": "fig2", "ms": 10.000, "events_processed": 0, "max_queue_depth": 0},
+    {"id": "evalstorm", "ms": 20.500, "events_processed": 51234, "max_queue_depth": 87}
+  ],
+  "shards": []
+}
+"#;
+        let t = parse_timings(with_counters).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t["fig2"], 10.0);
+        assert_eq!(t["evalstorm"], 20.5);
     }
 
     #[test]

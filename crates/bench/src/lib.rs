@@ -47,10 +47,46 @@ pub struct HarnessArgs {
     pub fleet_jobs: u64,
     /// Write a machine-readable timing dump to this path.
     pub timings_json: Option<String>,
+    /// Record a flight-recorder trace: Chrome trace-event JSON at this
+    /// path, plus the compact journal next to it ([`journal_path`]).
+    pub trace: Option<String>,
+    /// Just print the usage summary and exit.
+    pub help: bool,
 }
 
+/// The `repro --help` text. One place, so the binary's help, its
+/// flag-error hint, and the doc tests can never drift apart.
+pub const USAGE: &str = "\
+repro — regenerate the paper's tables and figures
+
+usage: repro [OPTIONS] [all | <id>...]
+
+  all                  run every experiment, in registry order
+  <id>...              run a selection (ids from --list)
+
+options:
+  --list               list every experiment id with a one-line description
+  --seed N             simulation seed (default 42)
+  --jobs N             worker threads (default: one per core); stdout is
+                       byte-identical for every value
+  --scale N            multiply the heavy-experiment workloads (default 1)
+  --fleet-jobs N       arrival count for the open-system fleet experiment
+                       (default 1000000)
+  --timings-json PATH  write a machine-readable dump: per-experiment wall
+                       time, event-queue counters, per-shard timings, RSS
+  --trace PATH         flight-recorder trace of the instrumented
+                       experiments: Chrome trace-event JSON at PATH (open
+                       in Perfetto), compact journal at PATH's `.journal`
+                       sibling; both deterministic for (seed, scale)
+  --help               print this summary
+
+The report goes to stdout and is byte-identical for every --jobs value;
+the wall-time table goes to stderr so golden diffs never see it.
+";
+
 /// Parse harness arguments: experiment ids plus `--seed N`, `--jobs N`,
-/// `--scale N`, `--fleet-jobs N`, `--timings-json PATH`, and `--list`.
+/// `--scale N`, `--fleet-jobs N`, `--timings-json PATH`, `--trace PATH`,
+/// `--list`, and `--help`.
 pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<HarnessArgs, String> {
     let mut parsed = HarnessArgs {
         ids: Vec::new(),
@@ -60,6 +96,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<HarnessArgs
         scale: 1,
         fleet_jobs: acme::experiments::DEFAULT_FLEET_JOBS,
         timings_json: None,
+        trace: None,
+        help: false,
     };
     let mut iter = args.into_iter();
     while let Some(a) = iter.next() {
@@ -96,7 +134,12 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<HarnessArgs
                 let v = iter.next().ok_or("--timings-json needs a path")?;
                 parsed.timings_json = Some(v);
             }
+            "--trace" => {
+                let v = iter.next().ok_or("--trace needs a path")?;
+                parsed.trace = Some(v);
+            }
             "--list" => parsed.list_only = true,
+            "--help" | "-h" => parsed.help = true,
             _ if a.starts_with("--") => return Err(format!("unknown flag: {a}")),
             _ => parsed.ids.push(a),
         }
@@ -168,15 +211,45 @@ pub fn peak_rss_bytes() -> u64 {
         .unwrap_or(0)
 }
 
+/// Group each run's flight-recorder chunks into one Perfetto "process"
+/// per experiment, in selection order; runs that recorded nothing are
+/// skipped. Chunks are already in shard order (the shard pool re-deposits
+/// worker chunks on the calling thread in shard order), so the exported
+/// bytes are a pure function of (selection, seed, scale) — independent of
+/// `--jobs`.
+pub fn trace_processes(runs: &[ExperimentRun]) -> Vec<acme_obs::TraceProcess> {
+    runs.iter()
+        .filter(|r| !r.trace.is_empty())
+        .map(|r| acme_obs::TraceProcess {
+            name: r.id.to_owned(),
+            chunks: r.trace.clone(),
+        })
+        .collect()
+}
+
+/// Where the compact journal goes for a `--trace PATH` run: `t.json` →
+/// `t.journal`, anything without a `.json` extension gets `.journal`
+/// appended.
+pub fn journal_path(trace_path: &str) -> String {
+    match trace_path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.journal"),
+        None => format!("{trace_path}.journal"),
+    }
+}
+
 /// Machine-readable timing dump (hand-rolled JSON; no serde in-tree).
 /// Schema: `{seed, jobs, wall_ms, peak_rss_bytes, experiments:
-/// [{id, ms}, ...], shards: [{experiment, shard, ms}, ...]}` with
-/// experiments in selection order and shards in per-experiment execution
-/// order. The flat `shards` section comes *after* the experiments array,
-/// so scanners that stop at the array's closing bracket (the
-/// `bench_guard` parser) are unaffected; its objects deliberately carry
-/// no `id` key. `peak_rss` is the caller's [`peak_rss_bytes`] reading,
-/// taken as a parameter so the renderer stays a pure function.
+/// [{id, ms, events_processed, max_queue_depth}, ...], shards:
+/// [{experiment, shard, ms}, ...]}` with experiments in selection order
+/// and shards in per-experiment execution order. The flat `shards`
+/// section comes *after* the experiments array, so scanners that stop at
+/// the array's closing bracket (the `bench_guard` parser) are unaffected;
+/// its objects deliberately carry no `id` key. `events_processed` and
+/// `max_queue_depth` come from the sim-core event-queue counters
+/// (`acme_sim_core::stats`): events popped and peak pending depth across
+/// every queue the experiment dropped — 0 for experiments that never
+/// touch the event queue. `peak_rss` is the caller's [`peak_rss_bytes`]
+/// reading, taken as a parameter so the renderer stays a pure function.
 pub fn render_timings_json(
     seed: u64,
     runs: &[ExperimentRun],
@@ -197,9 +270,12 @@ pub fn render_timings_json(
     for (i, run) in runs.iter().enumerate() {
         let comma = if i + 1 == runs.len() { "" } else { "," };
         out.push_str(&format!(
-            "    {{\"id\": \"{}\", \"ms\": {:.3}}}{comma}\n",
+            "    {{\"id\": \"{}\", \"ms\": {:.3}, \"events_processed\": {}, \
+             \"max_queue_depth\": {}}}{comma}\n",
             run.id,
-            run.wall.as_secs_f64() * 1e3
+            run.wall.as_secs_f64() * 1e3,
+            run.queue.pops,
+            run.queue.max_depth
         ));
     }
     out.push_str("  ],\n");
@@ -237,6 +313,8 @@ mod tests {
             wall: Duration::from_millis(ms),
             failed: false,
             shards: Vec::new(),
+            trace: Vec::new(),
+            queue: acme_sim_core::stats::QueueStats::ZERO,
         }
     }
 
@@ -270,6 +348,55 @@ mod tests {
         assert_eq!(p.timings_json.as_deref(), Some("t.json"));
         assert_eq!(p.scale, 1);
         assert_eq!(p.fleet_jobs, acme::experiments::DEFAULT_FLEET_JOBS);
+        assert_eq!(p.trace, None);
+        assert!(!p.help);
+    }
+
+    #[test]
+    fn trace_flag() {
+        let p = parse_args(v(&["storm", "--trace", "t.json"])).unwrap();
+        assert_eq!(p.trace.as_deref(), Some("t.json"));
+        assert_eq!(p.ids, vec!["storm"]);
+    }
+
+    #[test]
+    fn help_flag_and_usage_text() {
+        assert!(parse_args(v(&["--help"])).unwrap().help);
+        assert!(parse_args(v(&["-h"])).unwrap().help);
+        // The summary documents every flag parse_args accepts.
+        for flag in [
+            "--list",
+            "--seed",
+            "--jobs",
+            "--scale",
+            "--fleet-jobs",
+            "--timings-json",
+            "--trace",
+            "--help",
+        ] {
+            assert!(USAGE.contains(flag), "USAGE is missing {flag}");
+        }
+    }
+
+    #[test]
+    fn journal_path_replaces_json_extension() {
+        assert_eq!(journal_path("t.json"), "t.journal");
+        assert_eq!(journal_path("out/trace.json"), "out/trace.journal");
+        assert_eq!(journal_path("trace"), "trace.journal");
+    }
+
+    #[test]
+    fn trace_processes_skip_untraced_runs() {
+        let mut traced = fake_run("storm", 2);
+        let mut r = acme_obs::Recorder::new();
+        acme_obs::Rec::on(&mut r).instant(1.0, "x", "", &[]);
+        traced.trace.push(r.into_chunk("arm/full"));
+        let runs = [fake_run("fig2", 1), traced];
+        let procs = trace_processes(&runs);
+        assert_eq!(procs.len(), 1);
+        assert_eq!(procs[0].name, "storm");
+        assert_eq!(procs[0].chunks.len(), 1);
+        assert_eq!(procs[0].chunks[0].label, "arm/full");
     }
 
     #[test]
@@ -332,7 +459,13 @@ mod tests {
 
     #[test]
     fn timings_json_shape() {
-        let runs = [fake_run("x", 3), fake_run("y", 4)];
+        let mut runs = [fake_run("x", 3), fake_run("y", 4)];
+        runs[1].queue = acme_sim_core::stats::QueueStats {
+            schedules: 12,
+            pops: 11,
+            resizes: 1,
+            max_depth: 5,
+        };
         let j = render_timings_json(42, &runs, 8, Duration::from_millis(7), 12_345_678);
         assert!(j.contains("\"seed\": 42"));
         assert!(j.contains("\"jobs\": 8"));
@@ -340,8 +473,14 @@ mod tests {
         // fields, so `bench_guard`'s id scanner never sees it.
         assert!(j.contains("\"peak_rss_bytes\": 12345678,\n"));
         assert!(j.find("\"peak_rss_bytes\"").unwrap() < j.find("\"experiments\"").unwrap());
-        assert!(j.contains("{\"id\": \"x\", \"ms\": 3.000},"));
-        assert!(j.contains("{\"id\": \"y\", \"ms\": 4.000}\n"));
+        // Queue counters ride along per experiment (0 when the experiment
+        // never touched the event queue).
+        assert!(j.contains(
+            "{\"id\": \"x\", \"ms\": 3.000, \"events_processed\": 0, \"max_queue_depth\": 0},"
+        ));
+        assert!(j.contains(
+            "{\"id\": \"y\", \"ms\": 4.000, \"events_processed\": 11, \"max_queue_depth\": 5}\n"
+        ));
         // Unsharded runs still emit the (empty) shards section.
         assert!(j.contains("\"shards\": [\n  ]"));
         // Crude but effective: balanced braces/brackets, trailing newline.

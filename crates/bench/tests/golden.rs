@@ -39,16 +39,23 @@ const GOLDEN_SEED42_PRE_EVALSTORM_DIGEST: u64 = 0x89fd_d346_f56a_626e;
 /// of any earlier experiment.
 const GOLDEN_SEED42_PRE_FLEET_DIGEST: u64 = 0x5c06_5f6d_e10d_5238;
 
-/// Digest of the full `render_report(42, repro all)`, `fleet` (at its
-/// default 10⁶ arrivals) included.
-const GOLDEN_SEED42_FULL_DIGEST: u64 = 0x21de_a4b6_0c94_8e4a;
+/// Digest of `render_report(42, <pre-blame registry>)` — the exact bytes
+/// `repro all --seed 42` produced when `fleet` was the last experiment,
+/// before `blame` was appended. Pins down that the flight-recorder
+/// instrumentation (spans/counters threaded through the storm runner, the
+/// fault-tolerant coordinator, the pipeline trainer, and the event queue)
+/// moved no byte of any earlier experiment while tracing is off.
+const GOLDEN_SEED42_PRE_BLAME_DIGEST: u64 = 0x21de_a4b6_0c94_8e4a;
+
+/// Digest of the full `render_report(42, repro all)`, `blame` included.
+const GOLDEN_SEED42_FULL_DIGEST: u64 = 0x7968_2b78_ff97_8646;
 
 #[test]
 fn repro_all_seed42_pre_storm_prefix_matches_historical_digest() {
     let selection = acme::experiments::select(&["all".to_string()]).unwrap();
     let pre_storm: Vec<_> = selection
         .into_iter()
-        .filter(|e| e.id != "storm" && e.id != "evalstorm" && e.id != "fleet")
+        .filter(|e| e.id != "storm" && e.id != "evalstorm" && e.id != "fleet" && e.id != "blame")
         .collect();
     let runs =
         acme::experiments::run_selection(&pre_storm, acme::experiments::RunParams::new(42), 4);
@@ -67,7 +74,7 @@ fn repro_all_seed42_pre_evalstorm_prefix_matches_historical_digest() {
     let selection = acme::experiments::select(&["all".to_string()]).unwrap();
     let pre_evalstorm: Vec<_> = selection
         .into_iter()
-        .filter(|e| e.id != "evalstorm" && e.id != "fleet")
+        .filter(|e| e.id != "evalstorm" && e.id != "fleet" && e.id != "blame")
         .collect();
     let runs =
         acme::experiments::run_selection(&pre_evalstorm, acme::experiments::RunParams::new(42), 4);
@@ -85,7 +92,10 @@ fn repro_all_seed42_pre_evalstorm_prefix_matches_historical_digest() {
 #[test]
 fn repro_all_seed42_pre_fleet_prefix_matches_historical_digest() {
     let selection = acme::experiments::select(&["all".to_string()]).unwrap();
-    let pre_fleet: Vec<_> = selection.into_iter().filter(|e| e.id != "fleet").collect();
+    let pre_fleet: Vec<_> = selection
+        .into_iter()
+        .filter(|e| e.id != "fleet" && e.id != "blame")
+        .collect();
     let runs =
         acme::experiments::run_selection(&pre_fleet, acme::experiments::RunParams::new(42), 4);
     let report = acme_bench::render_report(42, &runs);
@@ -96,6 +106,23 @@ fn repro_all_seed42_pre_fleet_prefix_matches_historical_digest() {
          {GOLDEN_SEED42_PRE_FLEET_DIGEST:#018x}. The streaming-generator/sketch-telemetry \
          rewrite (or another change) perturbed a pre-existing experiment. If the change is \
          intentional, update GOLDEN_SEED42_PRE_FLEET_DIGEST."
+    );
+}
+
+#[test]
+fn repro_all_seed42_pre_blame_prefix_matches_historical_digest() {
+    let selection = acme::experiments::select(&["all".to_string()]).unwrap();
+    let pre_blame: Vec<_> = selection.into_iter().filter(|e| e.id != "blame").collect();
+    let runs =
+        acme::experiments::run_selection(&pre_blame, acme::experiments::RunParams::new(42), 4);
+    let report = acme_bench::render_report(42, &runs);
+    let digest = fnv1a_64(report.as_bytes());
+    assert_eq!(
+        digest, GOLDEN_SEED42_PRE_BLAME_DIGEST,
+        "seed-42 pre-blame report drifted: digest {digest:#018x}, expected \
+         {GOLDEN_SEED42_PRE_BLAME_DIGEST:#018x}. The flight-recorder instrumentation (or \
+         another change) perturbed a pre-existing experiment. If the change is intentional, \
+         update GOLDEN_SEED42_PRE_BLAME_DIGEST."
     );
 }
 

@@ -1,0 +1,129 @@
+//! The flight recorder's two contracts (DESIGN.md §10), tested end to
+//! end through the exact code path the `repro` binary uses:
+//!
+//! 1. **Zero observable cost when off, zero interference when on** —
+//!    stdout is byte-identical with tracing enabled vs disabled, because
+//!    recording happens beside the simulation, never inside its control
+//!    flow or rng stream.
+//! 2. **Deterministic exports** — the Chrome trace-event JSON and the
+//!    journal are byte-identical across reruns and across `--jobs`/shard
+//!    worker counts, at more than one seed.
+
+use acme::experiments::{run_selection, select, set_workers, ExperimentRun, RunParams};
+use acme_bench::{render_report, trace_processes};
+use acme_obs::{chrome_trace_json, journal};
+
+/// The experiments that record flight-recorder chunks.
+const INSTRUMENTED: [&str; 5] = ["pipeline", "storm", "evalstorm", "fleet", "blame"];
+
+fn traced_runs(seed: u64, jobs: usize, workers: usize) -> Vec<ExperimentRun> {
+    let ids: Vec<String> = INSTRUMENTED.iter().map(|s| s.to_string()).collect();
+    let selection = select(&ids).unwrap();
+    set_workers(workers);
+    let runs = run_selection(&selection, RunParams::new(seed).with_trace(true), jobs);
+    set_workers(1);
+    runs
+}
+
+#[test]
+fn stdout_is_byte_identical_with_tracing_on_vs_off() {
+    let selection = select(&["all".to_string()]).unwrap();
+    let off = run_selection(&selection, RunParams::new(42), 4);
+    let on = run_selection(&selection, RunParams::new(42).with_trace(true), 4);
+    assert!(
+        render_report(42, &off) == render_report(42, &on),
+        "enabling the flight recorder changed experiment output at seed 42"
+    );
+    // And the traced run actually recorded something to export.
+    assert!(!trace_processes(&on).is_empty());
+    assert!(
+        trace_processes(&off).is_empty(),
+        "tracing off must record nothing"
+    );
+}
+
+#[test]
+fn trace_exports_are_byte_identical_across_reruns_and_jobs() {
+    for seed in [42, 7] {
+        let baseline = traced_runs(seed, 1, 1);
+        let rerun = traced_runs(seed, 1, 1);
+        let parallel = traced_runs(seed, 8, 8);
+        let (base, base_j) = (
+            chrome_trace_json(&trace_processes(&baseline)),
+            journal(&trace_processes(&baseline)),
+        );
+        assert_eq!(
+            base,
+            chrome_trace_json(&trace_processes(&rerun)),
+            "chrome trace differs across reruns at seed {seed}"
+        );
+        assert_eq!(
+            base,
+            chrome_trace_json(&trace_processes(&parallel)),
+            "chrome trace differs between jobs 1 and 8 at seed {seed}"
+        );
+        assert_eq!(
+            base_j,
+            journal(&trace_processes(&parallel)),
+            "journal differs between jobs 1 and 8 at seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn every_instrumented_experiment_records_chunks() {
+    let runs = traced_runs(42, 1, 1);
+    for run in &runs {
+        assert!(
+            !run.trace.is_empty(),
+            "{} is instrumented but recorded no chunks",
+            run.id
+        );
+    }
+    // Chunk labels are unique within each experiment: they become
+    // Perfetto thread names, and duplicates would silently merge tracks.
+    for run in &runs {
+        let mut labels: Vec<&str> = run.trace.iter().map(|c| c.label.as_str()).collect();
+        labels.sort_unstable();
+        let before = labels.len();
+        labels.dedup();
+        assert_eq!(before, labels.len(), "duplicate chunk label in {}", run.id);
+    }
+}
+
+#[test]
+fn chrome_export_shape_is_valid() {
+    let runs = traced_runs(42, 1, 1);
+    let json = chrome_trace_json(&trace_processes(&runs));
+    assert!(json.starts_with("{\"traceEvents\": [\n"));
+    assert!(json.ends_with("], \"displayTimeUnit\": \"ms\"}\n"));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+    // One process-name metadata row per instrumented experiment.
+    for id in INSTRUMENTED {
+        assert!(
+            json.contains(&format!(
+                "\"process_name\", \"args\": {{\"name\": \"{id}\"}}"
+            )),
+            "no process row for {id}"
+        );
+    }
+    // Spans balance within the storm recording (every B has its E).
+    assert_eq!(
+        json.matches("\"ph\": \"B\"").count(),
+        json.matches("\"ph\": \"E\"").count()
+    );
+}
+
+#[test]
+fn queue_counters_surface_event_activity() {
+    // evalstorm runs on the sim-core event queue, so its counters must be
+    // live; they also must not depend on tracing (they are always on).
+    let ids = vec!["evalstorm".to_string()];
+    let selection = select(&ids).unwrap();
+    let off = run_selection(&selection, RunParams::new(42), 1);
+    let on = run_selection(&selection, RunParams::new(42).with_trace(true), 1);
+    assert!(off[0].queue.pops > 0, "evalstorm popped no events?");
+    assert!(off[0].queue.max_depth > 0);
+    assert_eq!(off[0].queue, on[0].queue, "tracing changed queue activity");
+}

@@ -10,7 +10,9 @@
 use acme_cluster::SharedStorage;
 use acme_evaluation::benchmarks::registry;
 use acme_evaluation::coordinator::{run as run_clean, Scheduler};
-use acme_evaluation::faults::{run_campaign, CampaignPolicy, FaultConfig, FaultPlan};
+use acme_evaluation::faults::{
+    run_campaign, run_campaign_traced, CampaignPolicy, FaultConfig, FaultPlan,
+};
 use acme_sim_core::SimRng;
 use acme_telemetry::table::{f, pct};
 use acme_telemetry::Table;
@@ -19,9 +21,9 @@ use super::shard::{run_shards, shard};
 use super::RunParams;
 
 /// Nodes in the evaluation fleet (the §6.2 four-node configuration).
-const NODES: u32 = 4;
+pub(super) const NODES: u32 = 4;
 /// Checkpoint size: the 7B model's 14 GB of weights.
-const MODEL_GB: f64 = 14.0;
+pub(super) const MODEL_GB: f64 = 14.0;
 
 /// `evalstorm` — generate the default fault campaign for the seed (horizon
 /// proportional to the fault-free makespan, which grows with `scale`) and
@@ -101,8 +103,24 @@ pub fn evalstorm(p: RunParams) -> String {
             .map(|&policy| {
                 let (datasets, storage, plan) = (&datasets, &storage, &plan);
                 shard(format!("arm/{}", policy.label()), move || {
-                    run_campaign(policy, datasets, NODES, storage, MODEL_GB, plan)
-                        .expect("the campaign inputs were already validated")
+                    if p.trace {
+                        let mut r = acme_obs::Recorder::new();
+                        let o = run_campaign_traced(
+                            policy,
+                            datasets,
+                            NODES,
+                            storage,
+                            MODEL_GB,
+                            plan,
+                            &mut acme_obs::Rec::on(&mut r),
+                        )
+                        .expect("the campaign inputs were already validated");
+                        acme_obs::deposit(r.into_chunk(format!("arm/{}", policy.label())));
+                        o
+                    } else {
+                        run_campaign(policy, datasets, NODES, storage, MODEL_GB, plan)
+                            .expect("the campaign inputs were already validated")
+                    }
                 })
             })
             .collect(),

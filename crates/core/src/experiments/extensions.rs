@@ -204,11 +204,25 @@ pub fn pipeline(p: RunParams) -> String {
                 FaultTolerantTrainer::manual_baseline()
             };
             let mut rng = SimRng::new(seed).fork(905);
-            Piece::Campaign(Box::new(trainer.run_campaign(
-                &mut rng,
-                SimDuration::from_hours(15),
-                horizon,
-            )))
+            let label = if deployed {
+                "campaign/fault-tolerant"
+            } else {
+                "campaign/manual-baseline"
+            };
+            let report = if p.trace {
+                let mut r = acme_obs::Recorder::new();
+                let report = trainer.run_campaign_traced(
+                    &mut rng,
+                    SimDuration::from_hours(15),
+                    horizon,
+                    &mut acme_obs::Rec::on(&mut r),
+                );
+                acme_obs::deposit(r.into_chunk(label.to_owned()));
+                report
+            } else {
+                trainer.run_campaign(&mut rng, SimDuration::from_hours(15), horizon)
+            };
+            Piece::Campaign(Box::new(report))
         }
     };
     let mut pieces = run_shards(vec![

@@ -42,6 +42,13 @@ pub struct ExperimentRun {
     /// Per-shard wall times, in shard order, for experiments that fan out
     /// internally (see [`super::shard`]); empty for unsharded experiments.
     pub shards: Vec<ShardTiming>,
+    /// Flight-recorder chunks the experiment deposited (shard order);
+    /// empty unless `RunParams::trace` was set and the experiment is
+    /// instrumented.
+    pub trace: Vec<acme_obs::TraceChunk>,
+    /// Event-queue activity (schedules/pops/resizes/peak depth) summed
+    /// over every queue the experiment dropped, for `--timings-json`.
+    pub queue: acme_sim_core::stats::QueueStats,
 }
 
 /// How many workers to use when the caller does not say: one per available
@@ -65,14 +72,19 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
 }
 
 fn run_one(e: &Experiment, params: RunParams) -> ExperimentRun {
-    // Drop any shard timings a previous (failed) run left on this thread,
-    // then collect the ones this experiment records: `run_shards` reports
-    // them on the thread that called it, which is exactly this one.
+    // Drop whatever a previous (failed) run left in this thread's side
+    // channels, then collect what this experiment records: `run_shards`
+    // re-deposits everything on the thread that called it, which is
+    // exactly this one.
     shard::take_timings();
+    acme_obs::take_chunks();
+    acme_sim_core::stats::take();
     let started = Instant::now();
     let body = catch_unwind(AssertUnwindSafe(|| (e.run)(params)));
     let wall = started.elapsed();
     let shards = shard::take_timings();
+    let trace = acme_obs::take_chunks();
+    let queue = acme_sim_core::stats::take();
     match body {
         Ok(body) => ExperimentRun {
             id: e.id,
@@ -81,6 +93,8 @@ fn run_one(e: &Experiment, params: RunParams) -> ExperimentRun {
             wall,
             failed: false,
             shards,
+            trace,
+            queue,
         },
         Err(payload) => ExperimentRun {
             id: e.id,
@@ -93,6 +107,8 @@ fn run_one(e: &Experiment, params: RunParams) -> ExperimentRun {
             wall,
             failed: true,
             shards,
+            trace,
+            queue,
         },
     }
 }
@@ -149,6 +165,8 @@ pub fn run_selection(
                     wall: Duration::ZERO,
                     failed: true,
                     shards: Vec::new(),
+                    trace: Vec::new(),
+                    queue: acme_sim_core::stats::QueueStats::ZERO,
                 })
         })
         .collect()
@@ -206,6 +224,7 @@ mod tests {
         let boom = Experiment {
             id: "boom",
             title: "always panics",
+            desc: "always panics",
             run: |_| panic!("injected failure for the runner test"),
         };
         let mut selection = vec![all()[0], boom, all()[1]];

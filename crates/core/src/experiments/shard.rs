@@ -79,9 +79,17 @@ fn record(label: String, wall: Duration) {
 /// the exact sequential execution. A panicking shard propagates after all
 /// workers have joined (the runner's `catch_unwind` turns it into the
 /// experiment's `FAILED` block).
+///
+/// Thread-local side channels (shard timings, flight-recorder chunks,
+/// event-queue counters) are drained per shard on the worker that ran it
+/// and re-deposited on the calling thread **in shard order** — so the
+/// byte-determinism contract extends beyond stdout to trace exports and
+/// `--timings-json` counters at any worker count.
 pub fn run_shards<'a, T: Send>(shards: Vec<(String, ShardFn<'a, T>)>) -> Vec<T> {
     let n = shards.len();
     if workers().min(n) <= 1 {
+        // Inline path: side channels accumulate on the calling thread in
+        // shard order naturally.
         return shards
             .into_iter()
             .map(|(label, f)| {
@@ -99,9 +107,16 @@ pub fn run_shards<'a, T: Send>(shards: Vec<(String, ShardFn<'a, T>)>) -> Vec<T> 
         labels.push(label);
         tasks.push(Mutex::new(Some(f)));
     }
+    /// Everything one shard produced on its worker.
+    type ShardYield<T> = (
+        T,
+        Duration,
+        Vec<acme_obs::TraceChunk>,
+        acme_sim_core::stats::QueueStats,
+    );
     // One pre-allocated slot per shard; each is written by exactly one
     // worker, so the mutexes are contention-free.
-    let slots: Vec<Mutex<Option<(T, Duration)>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<ShardYield<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
@@ -116,7 +131,12 @@ pub fn run_shards<'a, T: Send>(shards: Vec<(String, ShardFn<'a, T>)>) -> Vec<T> 
                     .expect("shard claimed twice");
                 let started = Instant::now();
                 let out = f();
-                *slots[i].lock().expect("shard slot poisoned") = Some((out, started.elapsed()));
+                let wall = started.elapsed();
+                // Drain this shard's side channels before the next shard
+                // runs on this worker, so attribution stays per-shard.
+                let chunks = acme_obs::take_chunks();
+                let queue = acme_sim_core::stats::take();
+                *slots[i].lock().expect("shard slot poisoned") = Some((out, wall, chunks, queue));
             });
         }
     });
@@ -125,11 +145,15 @@ pub fn run_shards<'a, T: Send>(shards: Vec<(String, ShardFn<'a, T>)>) -> Vec<T> 
         .into_iter()
         .zip(labels)
         .map(|(slot, label)| {
-            let (out, wall) = slot
+            let (out, wall, chunks, queue) = slot
                 .into_inner()
                 .expect("shard slot poisoned")
                 .expect("worker exited without a result");
             record(label, wall);
+            for chunk in chunks {
+                acme_obs::deposit(chunk);
+            }
+            acme_sim_core::stats::absorb(queue);
             out
         })
         .collect()

@@ -77,7 +77,19 @@ pub fn storm(p: RunParams) -> String {
                 let campaign = &campaign;
                 shard(format!("arm/{}", policy.label()), move || {
                     let mut arm_rng = SimRng::new(p.seed).fork(1002 + policy as u64);
-                    runner.run(campaign, policy, &mut arm_rng)
+                    if p.trace {
+                        let mut r = acme_obs::Recorder::new();
+                        let o = runner.run_traced(
+                            campaign,
+                            policy,
+                            &mut arm_rng,
+                            &mut acme_obs::Rec::on(&mut r),
+                        );
+                        acme_obs::deposit(r.into_chunk(format!("arm/{}", policy.label())));
+                        o
+                    } else {
+                        runner.run(campaign, policy, &mut arm_rng)
+                    }
                 })
             })
             .collect(),

@@ -17,10 +17,12 @@
 use acme_cluster::SharedStorage;
 use acme_data::pipeline::{DataPipeline, PipelineStats};
 use acme_evaluation::coordinator::{run as run_eval, Scheduler};
+use acme_failure::taxonomy::FailureCategory;
 use acme_failure::{
     DiagnosisPipeline, FailureInjector, FailureReason, LogBundle, NcclTester, OrchestratorConfig,
     RecoveryAction, RecoveryOrchestrator, Watchdog, WatchdogState,
 };
+use acme_obs::{ArgValue, Rec};
 use acme_sim_core::dist::Categorical;
 use acme_sim_core::{SimDuration, SimRng, SimTime};
 use acme_training::checkpoint::{
@@ -125,6 +127,22 @@ impl FaultTolerantTrainer {
         mean_between: SimDuration,
         horizon: SimDuration,
     ) -> CampaignReport {
+        self.run_campaign_traced(rng, mean_between, horizon, &mut Rec::off())
+    }
+
+    /// [`run_campaign`](Self::run_campaign) with a flight recorder: each
+    /// incident becomes a span named after its interruption, tagged with
+    /// the failure category, and decomposed into detect → localize →
+    /// restart stage instants (DESIGN.md §10). With [`Rec::off`] this is
+    /// exactly `run_campaign` — tracing never branches the simulation or
+    /// consumes rng.
+    pub fn run_campaign_traced(
+        &self,
+        rng: &mut SimRng,
+        mean_between: SimDuration,
+        horizon: SimDuration,
+        rec: &mut Rec<'_>,
+    ) -> CampaignReport {
         let times = FailureInjector::pretrain_schedule(rng, mean_between, horizon);
         // Infrastructure-heavy mix, as §5.2 observes for pretraining, with
         // a sprinkle of hangs and loss spikes.
@@ -198,6 +216,7 @@ impl FaultTolerantTrainer {
 
             // Recovery wall time.
             let mut wait = SimDuration::from_mins_f64(diagnose_mins);
+            let mut localize = SimDuration::ZERO;
             let needs_human = if self.automatic {
                 action.needs_human()
             } else {
@@ -214,9 +233,56 @@ impl FaultTolerantTrainer {
                     let result = NcclTester::new(self.fleet_nodes).run(&faulty);
                     cordoned += result.identified.len() as u32;
                     wait += SimDuration::from_mins(5); // two NCCL rounds
+                    localize += SimDuration::from_mins(5);
                 }
             }
             wait += SimDuration::from_mins(10); // cold start + checkpoint load
+
+            if rec.enabled() {
+                let (name, cat) = match kind {
+                    Interruption::Error(reason) => (reason.label(), reason.spec().category.label()),
+                    Interruption::SilentHang => ("Silent Hang", FailureCategory::Framework.label()),
+                    Interruption::LossSpike => ("Loss Spike", FailureCategory::Script.label()),
+                };
+                let t0 = at.as_secs_f64();
+                rec.begin(
+                    t0,
+                    name,
+                    cat,
+                    &[(
+                        "manual",
+                        ArgValue::Str(if needs_human { "yes" } else { "no" }),
+                    )],
+                );
+                // detect (diagnosis) → localize (NCCL rounds) → restart
+                // (human reaction + cold start) partition `wait` exactly.
+                let detect = SimDuration::from_mins_f64(diagnose_mins);
+                let restart = wait - detect - localize;
+                rec.instant(
+                    (at + detect).as_secs_f64(),
+                    "stage/detect",
+                    cat,
+                    &[("secs", ArgValue::F64(detect.as_secs_f64()))],
+                );
+                if localize > SimDuration::ZERO {
+                    rec.instant(
+                        (at + detect + localize).as_secs_f64(),
+                        "stage/localize",
+                        cat,
+                        &[("secs", ArgValue::F64(localize.as_secs_f64()))],
+                    );
+                }
+                rec.instant(
+                    (at + wait).as_secs_f64(),
+                    "stage/restart",
+                    cat,
+                    &[("secs", ArgValue::F64(restart.as_secs_f64()))],
+                );
+                if lost > 0.0 {
+                    rec.instant(t0, "rollback", cat, &[("secs", ArgValue::F64(lost))]);
+                }
+                rec.end((at + wait).as_secs_f64(), name);
+            }
 
             incidents.push(Incident {
                 at,

@@ -34,6 +34,7 @@ use acme_failure::{
     DiagnosisPipeline, LogBundle, OrchestratorConfig, RecoveryAction, RecoveryOrchestrator,
     RetryPolicy, Watchdog,
 };
+use acme_obs::{ArgValue, Rec};
 use acme_sim_core::{SimDuration, SimRng, SimTime};
 use acme_training::checkpoint::{
     CheckpointEngine, CheckpointMode, CheckpointScenario, DurabilityTracker,
@@ -107,6 +108,10 @@ pub struct StormOutcome {
     pub useful_secs: f64,
     /// Seconds spent running at reduced data-parallel width.
     pub degraded_secs: f64,
+    /// Throughput lost to that reduced width: Σ span × (1 − factor),
+    /// seconds of full-width-equivalent training. Not printed by the storm
+    /// tables; the `blame` analyzer charges it to the cordon/spare stage.
+    pub degraded_loss_secs: f64,
     /// The campaign horizon.
     pub horizon: SimDuration,
 }
@@ -216,6 +221,7 @@ fn accrue(
             *trained += span * factor;
             if factor < 1.0 {
                 out.degraded_secs += span;
+                out.degraded_loss_secs += span * (1.0 - factor);
             }
             cursor = r;
         }
@@ -227,6 +233,7 @@ fn accrue(
         *trained += span * factor;
         if factor < 1.0 {
             out.degraded_secs += span;
+            out.degraded_loss_secs += span * (1.0 - factor);
         }
     }
 }
@@ -261,6 +268,22 @@ impl StormRunner {
         policy: StormPolicy,
         rng: &mut SimRng,
     ) -> StormOutcome {
+        self.run_traced(campaign, policy, rng, &mut Rec::off())
+    }
+
+    /// [`Self::run`] with a flight recorder attached: every incident
+    /// becomes a span named by its root cause and tagged with its
+    /// [`acme_failure::FailureCategory`], with instant events decomposing
+    /// the recovery wait into detect → localize → restart/backoff stages
+    /// (plus rollback and cordon markers). Recording never touches the
+    /// simulation: outcome and rng stream are identical to [`Self::run`].
+    pub fn run_traced(
+        &self,
+        campaign: &StormCampaign,
+        policy: StormPolicy,
+        rng: &mut SimRng,
+        rec: &mut Rec<'_>,
+    ) -> StormOutcome {
         let tracker = DurabilityTracker::new(
             CheckpointEngine::new(CheckpointScenario::paper_123b()),
             CheckpointMode::Asynchronous,
@@ -289,6 +312,7 @@ impl StormRunner {
             rollback_secs: 0.0,
             useful_secs: 0.0,
             degraded_secs: 0.0,
+            degraded_loss_secs: 0.0,
             horizon: campaign.horizon,
         };
 
@@ -304,6 +328,13 @@ impl StormRunner {
             }
             accrue(&mut fleet, &mut out, &mut trained_weighted, up_since, e.at);
             out.incidents += 1;
+            let cat = e.reason.spec().category.label();
+            rec.begin(
+                e.at.as_secs_f64(),
+                e.reason.label(),
+                cat,
+                &[("node", ArgValue::U64(u64::from(e.node)))],
+            );
 
             // Diagnose: the cascade's secondary errors are exactly what the
             // log renderer buries the root cause under.
@@ -321,6 +352,13 @@ impl StormRunner {
             let mut wait = DIAGNOSE;
             let mut rollback = tracker.loss_at(e.at.as_secs_f64());
             let mut human = false;
+            // Recovery-stage decomposition for the flight recorder: detect
+            // (diagnosis + watchdog timeouts) and localize (NCCL sweeps +
+            // checkpoint validation) are tracked at their sources;
+            // restart/backoff is the residual, so the three stages always
+            // sum to `wait` exactly.
+            let mut detect = DIAGNOSE;
+            let mut localize = SimDuration::ZERO;
 
             // The event's flap only matters while its node is in service.
             let flapping = e.flapping && !fixed.contains(&e.node);
@@ -348,14 +386,25 @@ impl StormRunner {
                         // Automated path.
                         if let RecoveryAction::AutoRestart { cordon_nodes: true } = d.action {
                             wait += NCCL_LOCALIZE;
+                            localize += NCCL_LOCALIZE;
                             orch.record_strike(e.node);
                             if orch.should_cordon(e.node) {
                                 orch.mark_cordoned(e.node);
                                 fixed.insert(e.node);
                                 out.nodes_cordoned += 1;
-                                if fleet.cordon(e.at + wait) {
+                                let covered = fleet.cordon(e.at + wait);
+                                if covered {
                                     out.spares_used += 1;
                                 }
+                                rec.instant(
+                                    (e.at + wait).as_secs_f64(),
+                                    "cordon",
+                                    cat,
+                                    &[(
+                                        "spare",
+                                        ArgValue::Str(if covered { "covered" } else { "degraded" }),
+                                    )],
+                                );
                             }
                         }
                         // Checkpoint load, validated.
@@ -364,7 +413,9 @@ impl StormRunner {
                             // generation automatically.
                             let pos = tracker.durable_position_at(e.at.as_secs_f64());
                             rollback += pos - tracker.fallback_position(pos);
-                            wait += SimDuration::from_secs_f64(tracker.validation_secs());
+                            let validate = SimDuration::from_secs_f64(tracker.validation_secs());
+                            wait += validate;
+                            localize += validate;
                         }
                         wait += RESTART;
 
@@ -379,6 +430,7 @@ impl StormRunner {
                                 acme_failure::WatchdogState::Stuck
                             );
                             wait += timeout + RESTART;
+                            detect += timeout;
                             out.crash_loop_restarts += 1;
                         }
 
@@ -396,9 +448,23 @@ impl StormRunner {
                                     orch.mark_cordoned(e.node);
                                     fixed.insert(e.node);
                                     out.nodes_cordoned += 1;
-                                    if fleet.cordon(e.at + wait) {
+                                    let covered = fleet.cordon(e.at + wait);
+                                    if covered {
                                         out.spares_used += 1;
                                     }
+                                    rec.instant(
+                                        (e.at + wait).as_secs_f64(),
+                                        "cordon",
+                                        cat,
+                                        &[(
+                                            "spare",
+                                            ArgValue::Str(if covered {
+                                                "covered"
+                                            } else {
+                                                "degraded"
+                                            }),
+                                        )],
+                                    );
                                     wait += RESTART;
                                     break;
                                 }
@@ -439,6 +505,7 @@ impl StormRunner {
                         // Nobody armed a recovery watchdog: the wedge sits
                         // until the steady-state 30-minute watchdog fires.
                         wait += SimDuration::from_mins(31) + RESTART;
+                        detect += SimDuration::from_mins(31);
                         out.crash_loop_restarts += 1;
                     }
 
@@ -468,6 +535,32 @@ impl StormRunner {
             }
             out.downtime += wait;
             out.rollback_secs += rollback;
+            if rec.enabled() {
+                let t0 = e.at.as_secs_f64();
+                let restart = wait - detect - localize;
+                rec.instant(
+                    t0 + detect.as_secs_f64(),
+                    "stage/detect",
+                    cat,
+                    &[("secs", ArgValue::F64(detect.as_secs_f64()))],
+                );
+                rec.instant(
+                    t0 + (detect + localize).as_secs_f64(),
+                    "stage/localize",
+                    cat,
+                    &[("secs", ArgValue::F64(localize.as_secs_f64()))],
+                );
+                rec.instant(
+                    t0 + wait.as_secs_f64(),
+                    "stage/restart",
+                    cat,
+                    &[("secs", ArgValue::F64(restart.as_secs_f64()))],
+                );
+                if rollback > 0.0 {
+                    rec.instant(t0, "rollback", cat, &[("secs", ArgValue::F64(rollback))]);
+                }
+                rec.end(t0 + wait.as_secs_f64(), e.reason.label());
+            }
             up_since = e.at + wait;
         }
 
@@ -476,6 +569,31 @@ impl StormRunner {
             accrue(&mut fleet, &mut out, &mut trained_weighted, up_since, end);
         }
         out.useful_secs = (trained_weighted - out.rollback_secs).max(0.0);
+        if rec.enabled() {
+            let end_s = end.as_secs_f64();
+            if out.degraded_secs > 0.0 {
+                rec.instant(
+                    end_s,
+                    "degraded",
+                    "Infrastructure",
+                    &[
+                        ("secs", ArgValue::F64(out.degraded_secs)),
+                        ("loss_secs", ArgValue::F64(out.degraded_loss_secs)),
+                    ],
+                );
+            }
+            if up_since > end {
+                // The last incident's recovery ran past the horizon: that
+                // slice of its wait is not lost goodput (the horizon had
+                // already ended), so the blame analyzer subtracts it.
+                rec.instant(
+                    end_s,
+                    "overshoot",
+                    "",
+                    &[("lost_secs", ArgValue::F64((up_since - end).as_secs_f64()))],
+                );
+            }
+        }
         out
     }
 }

@@ -30,7 +30,8 @@ use std::collections::VecDeque;
 
 use acme_cluster::SharedStorage;
 use acme_failure::orchestrator::RetryPolicy;
-use acme_failure::taxonomy::FailureReason;
+use acme_failure::taxonomy::{FailureCategory, FailureReason};
+use acme_obs::{ArgValue, Rec};
 use acme_sim_core::dist::{Distribution, Exponential};
 use acme_sim_core::rng::SplitMix64;
 use acme_sim_core::{EventQueue, SimRng, SimTime};
@@ -430,13 +431,32 @@ impl FaultTolerantCoordinator {
         model_gb: f64,
         plan: &FaultPlan,
     ) -> Result<CampaignOutcome, CoordinatorError> {
+        self.run_campaign_traced(datasets, nodes, storage, model_gb, plan, &mut Rec::off())
+    }
+
+    /// [`Self::run_campaign`] with a flight recorder attached: trial
+    /// lifecycle (crashes, retries, speculation, re-packing, campaign
+    /// restarts) becomes instant events, every wasted GPU-second is
+    /// attributed to a fault category × recovery stage as it accrues, and
+    /// fault arrivals sample the event-queue depth. Recording never
+    /// touches the simulation: the outcome is identical to the untraced
+    /// run.
+    pub fn run_campaign_traced(
+        &self,
+        datasets: &[Dataset],
+        nodes: u32,
+        storage: &SharedStorage,
+        model_gb: f64,
+        plan: &FaultPlan,
+        rec: &mut Rec<'_>,
+    ) -> Result<CampaignOutcome, CoordinatorError> {
         if datasets.is_empty() {
             return Err(CoordinatorError::EmptyDatasets);
         }
         if nodes == 0 {
             return Err(CoordinatorError::ZeroNodes);
         }
-        Ok(CampaignSim::new(self, datasets, nodes, storage, model_gb, plan).run())
+        Ok(CampaignSim::new(self, datasets, nodes, storage, model_gb, plan, rec.borrow()).run())
     }
 }
 
@@ -499,6 +519,21 @@ pub fn run_campaign(
     policy
         .coordinator()
         .run_campaign(datasets, nodes, storage, model_gb, plan)
+}
+
+/// Convenience: run one ablation arm with a flight recorder attached.
+pub fn run_campaign_traced(
+    policy: CampaignPolicy,
+    datasets: &[Dataset],
+    nodes: u32,
+    storage: &SharedStorage,
+    model_gb: f64,
+    plan: &FaultPlan,
+    rec: &mut Rec<'_>,
+) -> Result<CampaignOutcome, CoordinatorError> {
+    policy
+        .coordinator()
+        .run_campaign_traced(datasets, nodes, storage, model_gb, plan, rec)
 }
 
 // ---------------------------------------------------------------------------
@@ -600,6 +635,20 @@ struct CampaignSim<'a> {
     nodes_lost: u32,
     last_gpu_done: f64,
     last_metric_done: f64,
+    rec: Rec<'a>,
+}
+
+/// Recovery-stage labels for waste attribution (the Lablup decomposition
+/// the `blame` experiment aggregates by).
+mod stage {
+    /// Duplicate work paid to detect/outrun stragglers (speculation
+    /// losers).
+    pub const DETECT: &str = "detect";
+    /// Work thrown away restarting after a trial crash (partials,
+    /// invalidated uncommitted results, whole-campaign restarts).
+    pub const RESTART: &str = "restart/backoff";
+    /// Work stranded on failed nodes (re-packed or deferred).
+    pub const CORDON: &str = "cordon/spare";
 }
 
 impl<'a> CampaignSim<'a> {
@@ -610,6 +659,7 @@ impl<'a> CampaignSim<'a> {
         storage: &SharedStorage,
         model_gb: f64,
         plan: &'a FaultPlan,
+        rec: Rec<'a>,
     ) -> Self {
         let gpus = nodes * 8;
         let items = plan_order(Scheduler::FullCoordinator, datasets, gpus);
@@ -664,8 +714,26 @@ impl<'a> CampaignSim<'a> {
             nodes_lost: 0,
             last_gpu_done: 0.0,
             last_metric_done: 0.0,
+            rec,
             items,
         }
+    }
+
+    /// Account `secs` of wasted GPU time, attributing it to a fault
+    /// category × recovery stage for the flight recorder. The *only* site
+    /// that touches `self.wasted`, so the recorded attribution always sums
+    /// to `CampaignOutcome::wasted_gpu_secs` exactly.
+    fn waste(&mut self, now: f64, cat: &'static str, stage: &'static str, secs: f64) {
+        self.wasted += secs;
+        self.rec.instant(
+            now,
+            "waste",
+            cat,
+            &[
+                ("stage", ArgValue::Str(stage)),
+                ("secs", ArgValue::F64(secs)),
+            ],
+        );
     }
 
     fn run(mut self) -> CampaignOutcome {
@@ -765,6 +833,16 @@ impl<'a> CampaignSim<'a> {
             });
             self.queue
                 .schedule(key(now + work), Ev::ItemDone { gpu: g, epoch });
+            self.rec.instant(
+                now,
+                "trial/dispatch",
+                "",
+                &[
+                    ("item", ArgValue::U64(w.item as u64)),
+                    ("gpu", ArgValue::U64(u64::from(g))),
+                    ("spec", ArgValue::Str(if w.spec { "yes" } else { "no" })),
+                ],
+            );
             if self.ft.speculation && !w.spec {
                 self.queue.schedule(
                     key(now + base * WATCHDOG_FACTOR + WATCHDOG_SLACK_SECS),
@@ -787,10 +865,24 @@ impl<'a> CampaignSim<'a> {
         let b = self.gpu[gi].busy.take().expect("busy GPU must hold work");
         self.gpu[gi].state = GpuState::Idle;
         self.last_gpu_done = self.last_gpu_done.max(now);
+        self.rec.instant(
+            now,
+            "trial/done",
+            "",
+            &[
+                ("item", ArgValue::U64(b.item as u64)),
+                ("gpu", ArgValue::U64(u64::from(g))),
+            ],
+        );
         if self.committed[b.item] {
             // Idempotent dedup: the speculative twin already landed.
             self.duplicate_results += 1;
-            self.wasted += b.work;
+            self.waste(
+                now,
+                FailureCategory::Infrastructure.label(),
+                stage::DETECT,
+                b.work,
+            );
         } else if self.ft.dataset_tracking {
             self.commit(b.item, b.work, now);
         } else {
@@ -803,7 +895,12 @@ impl<'a> CampaignSim<'a> {
     fn commit(&mut self, item: usize, work: f64, now: f64) {
         if self.committed[item] {
             self.duplicate_results += 1;
-            self.wasted += work;
+            self.waste(
+                now,
+                FailureCategory::Infrastructure.label(),
+                stage::DETECT,
+                work,
+            );
             return;
         }
         self.committed[item] = true;
@@ -835,6 +932,15 @@ impl<'a> CampaignSim<'a> {
         }
         if self.plan.metric_flake(item, attempt) {
             self.metric_reruns += 1;
+            self.rec.instant(
+                now,
+                "metric/flake",
+                FailureCategory::Script.label(),
+                &[
+                    ("item", ArgValue::U64(item as u64)),
+                    ("attempt", ArgValue::U64(u64::from(attempt))),
+                ],
+            );
             self.schedule_metric(item, attempt + 1, now);
         } else {
             self.metric_landed[item] += 1;
@@ -855,6 +961,15 @@ impl<'a> CampaignSim<'a> {
         // free GPU; whichever finishes first commits, the loser dedups.
         self.spec_launched[item] = true;
         self.speculative_copies += 1;
+        self.rec.instant(
+            _now,
+            "trial/speculate",
+            FailureCategory::Infrastructure.label(),
+            &[
+                ("item", ArgValue::U64(item as u64)),
+                ("gpu", ArgValue::U64(u64::from(g))),
+            ],
+        );
         self.global.push_front(WorkRef { item, spec: true });
         self.wake_idle();
     }
@@ -867,21 +982,31 @@ impl<'a> CampaignSim<'a> {
         {
             return; // struck an empty slot, a dead GPU, or a finished campaign
         }
+        let cat = c.reason.spec().category.label();
+        self.rec
+            .counter(now, "queue_depth", self.queue.len() as u64);
+        self.rec.instant(
+            now,
+            "trial/crash",
+            cat,
+            &[("gpu", ArgValue::U64(u64::from(c.gpu)))],
+        );
         if self.ft.restart_whole_campaign {
-            self.campaign_restart(now);
+            self.campaign_restart(now, cat);
             return;
         }
         let b = self.gpu[gi].busy.take().expect("busy GPU must hold work");
         self.gpu[gi].epoch += 1;
         self.retries += 1;
-        self.wasted += now - b.started; // partial work dies with the trial
+        // Partial work dies with the trial.
+        self.waste(now, cat, stage::RESTART, now - b.started);
 
         // Without dataset tracking, everything the consolidated trial had
         // finished but not committed dies too.
         let mut requeue: Vec<WorkRef> = Vec::new();
         let invalidated: Vec<(usize, f64)> = self.gpu[gi].uncommitted.drain(..).collect();
         for (item, work) in invalidated {
-            self.wasted += work;
+            self.waste(now, cat, stage::RESTART, work);
             requeue.push(WorkRef { item, spec: false });
         }
         requeue.push(WorkRef {
@@ -929,13 +1054,22 @@ impl<'a> CampaignSim<'a> {
         self.node_alive[ni] = false;
         self.alive_nodes -= 1;
         self.nodes_lost += 1;
+        let infra = FailureCategory::Infrastructure.label();
+        self.rec
+            .counter(now, "queue_depth", self.queue.len() as u64);
+        self.rec.instant(
+            now,
+            "node/failure",
+            infra,
+            &[("node", ArgValue::U64(u64::from(f.node)))],
+        );
 
         let mut lost: Vec<WorkRef> = Vec::new();
         for g in (f.node * 8)..(f.node * 8 + 8) {
             let gi = g as usize;
             self.gpu[gi].epoch += 1;
             if let Some(b) = self.gpu[gi].busy.take() {
-                self.wasted += now - b.started;
+                self.waste(now, infra, stage::CORDON, now - b.started);
                 lost.push(WorkRef {
                     item: b.item,
                     spec: false,
@@ -943,7 +1077,7 @@ impl<'a> CampaignSim<'a> {
             }
             let invalidated: Vec<(usize, f64)> = self.gpu[gi].uncommitted.drain(..).collect();
             for (item, work) in invalidated {
-                self.wasted += work;
+                self.waste(now, infra, stage::CORDON, work);
                 lost.push(WorkRef { item, spec: false });
             }
             lost.extend(self.gpu[gi].pinned.drain(..));
@@ -955,9 +1089,15 @@ impl<'a> CampaignSim<'a> {
             return; // trials all finished; only CPU metric jobs remain
         }
         if self.ft.restart_whole_campaign {
-            self.campaign_restart(now);
+            self.campaign_restart(now, infra);
         } else if self.ft.elastic_repack {
             // Elastic re-packing: survivors absorb the stranded shards now.
+            self.rec.instant(
+                now,
+                "repack",
+                infra,
+                &[("items", ArgValue::U64(lost.len() as u64))],
+            );
             for w in lost.into_iter().rev() {
                 self.global.push_front(w);
             }
@@ -973,26 +1113,34 @@ impl<'a> CampaignSim<'a> {
     /// Naive recovery: throw everything away and resubmit the campaign on
     /// the surviving fleet, re-staging the model from (possibly degraded)
     /// remote storage.
-    fn campaign_restart(&mut self, now: f64) {
+    fn campaign_restart(&mut self, now: f64, cat: &'static str) {
         self.campaign_restarts += 1;
         self.era += 1;
-        for gpu in &mut self.gpu {
-            if gpu.state == GpuState::Dead {
+        self.rec.instant(
+            now,
+            "campaign/restart",
+            cat,
+            &[("era", ArgValue::U64(u64::from(self.era)))],
+        );
+        for gi in 0..self.gpu.len() {
+            if self.gpu[gi].state == GpuState::Dead {
                 continue;
             }
-            gpu.epoch += 1;
-            if let Some(b) = gpu.busy.take() {
-                self.wasted += now - b.started;
+            self.gpu[gi].epoch += 1;
+            if let Some(b) = self.gpu[gi].busy.take() {
+                self.waste(now, cat, stage::RESTART, now - b.started);
             }
-            for (_, work) in gpu.uncommitted.drain(..) {
-                self.wasted += work;
+            let dropped: Vec<(usize, f64)> = self.gpu[gi].uncommitted.drain(..).collect();
+            for (_, work) in dropped {
+                self.waste(now, cat, stage::RESTART, work);
             }
-            gpu.pinned.clear();
-            gpu.loaded = false;
-            gpu.state = GpuState::Backoff;
+            self.gpu[gi].pinned.clear();
+            self.gpu[gi].loaded = false;
+            self.gpu[gi].state = GpuState::Backoff;
         }
         // Every committed result is discarded with the campaign.
-        self.wasted += self.useful;
+        let discarded = self.useful;
+        self.waste(now, cat, stage::RESTART, discarded);
         self.useful = 0.0;
         self.committed.fill(false);
         self.metric_landed.fill(0);

@@ -42,6 +42,7 @@
 //! tests and under the `heap-oracle` feature) and serves as the
 //! differential-testing oracle and the benchmark baseline.
 
+use crate::stats::QueueStats;
 use crate::time::SimDuration;
 use crate::time::SimTime;
 
@@ -79,6 +80,15 @@ pub struct EventQueue<E> {
     len: usize,
     next_seq: u64,
     now: SimTime,
+    /// Lifetime activity counters, absorbed into the thread-local
+    /// accumulator ([`crate::stats`]) when the queue is dropped.
+    stats: QueueStats,
+}
+
+impl<E> Drop for EventQueue<E> {
+    fn drop(&mut self) {
+        crate::stats::absorb(self.stats);
+    }
 }
 
 impl<E> Default for EventQueue<E> {
@@ -110,7 +120,13 @@ impl<E> EventQueue<E> {
             len: 0,
             next_seq: 0,
             now: SimTime::ZERO,
+            stats: QueueStats::ZERO,
         }
+    }
+
+    /// This queue's lifetime activity counters.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
     }
 
     /// Reserve room for at least `additional` more pending events.
@@ -191,6 +207,8 @@ impl<E> EventQueue<E> {
         let b = self.bucket_of_slice(self.slice_of(at.as_micros()));
         self.buckets[b].push(idx);
         self.len += 1;
+        self.stats.schedules += 1;
+        self.stats.max_depth = self.stats.max_depth.max(self.len as u64);
         if self.len > self.buckets.len() * 2 {
             self.resize(self.buckets.len() * 2);
         }
@@ -261,6 +279,7 @@ impl<E> EventQueue<E> {
         let e = slot.event.take().expect("bucket entry without an event");
         self.free.push(idx);
         self.len -= 1;
+        self.stats.pops += 1;
         self.now = t;
         self.cur_slice = self.slice_of(t.as_micros());
         (t, e)
@@ -278,6 +297,7 @@ impl<E> EventQueue<E> {
     /// horizon, keeping the pop walk short.
     fn resize(&mut self, new_buckets: usize) {
         debug_assert!(new_buckets.is_power_of_two());
+        self.stats.resizes += 1;
         let mut entries: Vec<u32> = Vec::with_capacity(self.len);
         let (mut min_k, mut max_k) = (u64::MAX, 0u64);
         for bucket in &mut self.buckets {

@@ -23,6 +23,7 @@ pub mod dist;
 pub mod engine;
 pub mod event;
 pub mod rng;
+pub mod stats;
 pub mod time;
 
 pub use engine::{Engine, Process};
