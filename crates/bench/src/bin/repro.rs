@@ -56,6 +56,16 @@ fn main() -> ExitCode {
         }
     };
 
+    // The policy lab validates its whole sweep grid up front: a degenerate
+    // configuration (zero budgets, inverted thresholds, non-finite
+    // probabilities) is a usage error, not a panic 40 cells into the run.
+    if selection.iter().any(|e| e.id == "policylab") {
+        if let Err(e) = acme::experiments::validate_policylab(args.scale) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
     let requested_jobs = args.jobs.unwrap_or_else(acme::experiments::default_jobs);
     let jobs = requested_jobs.min(selection.len().max(1));
     // Sharded experiments fan out internally on the same budget, so a

@@ -47,15 +47,31 @@ const GOLDEN_SEED42_PRE_FLEET_DIGEST: u64 = 0x5c06_5f6d_e10d_5238;
 /// moved no byte of any earlier experiment while tracing is off.
 const GOLDEN_SEED42_PRE_BLAME_DIGEST: u64 = 0x21de_a4b6_0c94_8e4a;
 
-/// Digest of the full `render_report(42, repro all)`, `blame` included.
-const GOLDEN_SEED42_FULL_DIGEST: u64 = 0x7968_2b78_ff97_8646;
+/// Digest of `render_report(42, <pre-policylab registry>)` — the exact
+/// bytes `repro all --seed 42` produced when `blame` was the last
+/// experiment, before `policylab` was appended. Pins down that extracting
+/// the recovery strategies into `acme-policy` trait objects (checkpoint
+/// cadence, retry ladders, cordon strikes, repair turnaround, speculation,
+/// repacking) moved no byte of any earlier experiment: the default policy
+/// objects reproduce the previously hardwired arms exactly.
+const GOLDEN_SEED42_PRE_POLICYLAB_DIGEST: u64 = 0x7968_2b78_ff97_8646;
+
+/// Digest of the full `render_report(42, repro all)`, `policylab`
+/// included.
+const GOLDEN_SEED42_FULL_DIGEST: u64 = 0xae7c_4615_e9a3_39ad;
 
 #[test]
 fn repro_all_seed42_pre_storm_prefix_matches_historical_digest() {
     let selection = acme::experiments::select(&["all".to_string()]).unwrap();
     let pre_storm: Vec<_> = selection
         .into_iter()
-        .filter(|e| e.id != "storm" && e.id != "evalstorm" && e.id != "fleet" && e.id != "blame")
+        .filter(|e| {
+            e.id != "storm"
+                && e.id != "evalstorm"
+                && e.id != "fleet"
+                && e.id != "blame"
+                && e.id != "policylab"
+        })
         .collect();
     let runs =
         acme::experiments::run_selection(&pre_storm, acme::experiments::RunParams::new(42), 4);
@@ -74,7 +90,9 @@ fn repro_all_seed42_pre_evalstorm_prefix_matches_historical_digest() {
     let selection = acme::experiments::select(&["all".to_string()]).unwrap();
     let pre_evalstorm: Vec<_> = selection
         .into_iter()
-        .filter(|e| e.id != "evalstorm" && e.id != "fleet" && e.id != "blame")
+        .filter(|e| {
+            e.id != "evalstorm" && e.id != "fleet" && e.id != "blame" && e.id != "policylab"
+        })
         .collect();
     let runs =
         acme::experiments::run_selection(&pre_evalstorm, acme::experiments::RunParams::new(42), 4);
@@ -94,7 +112,7 @@ fn repro_all_seed42_pre_fleet_prefix_matches_historical_digest() {
     let selection = acme::experiments::select(&["all".to_string()]).unwrap();
     let pre_fleet: Vec<_> = selection
         .into_iter()
-        .filter(|e| e.id != "fleet" && e.id != "blame")
+        .filter(|e| e.id != "fleet" && e.id != "blame" && e.id != "policylab")
         .collect();
     let runs =
         acme::experiments::run_selection(&pre_fleet, acme::experiments::RunParams::new(42), 4);
@@ -112,7 +130,10 @@ fn repro_all_seed42_pre_fleet_prefix_matches_historical_digest() {
 #[test]
 fn repro_all_seed42_pre_blame_prefix_matches_historical_digest() {
     let selection = acme::experiments::select(&["all".to_string()]).unwrap();
-    let pre_blame: Vec<_> = selection.into_iter().filter(|e| e.id != "blame").collect();
+    let pre_blame: Vec<_> = selection
+        .into_iter()
+        .filter(|e| e.id != "blame" && e.id != "policylab")
+        .collect();
     let runs =
         acme::experiments::run_selection(&pre_blame, acme::experiments::RunParams::new(42), 4);
     let report = acme_bench::render_report(42, &runs);
@@ -123,6 +144,26 @@ fn repro_all_seed42_pre_blame_prefix_matches_historical_digest() {
          {GOLDEN_SEED42_PRE_BLAME_DIGEST:#018x}. The flight-recorder instrumentation (or \
          another change) perturbed a pre-existing experiment. If the change is intentional, \
          update GOLDEN_SEED42_PRE_BLAME_DIGEST."
+    );
+}
+
+#[test]
+fn repro_all_seed42_pre_policylab_prefix_matches_historical_digest() {
+    let selection = acme::experiments::select(&["all".to_string()]).unwrap();
+    let pre_policylab: Vec<_> = selection
+        .into_iter()
+        .filter(|e| e.id != "policylab")
+        .collect();
+    let runs =
+        acme::experiments::run_selection(&pre_policylab, acme::experiments::RunParams::new(42), 4);
+    let report = acme_bench::render_report(42, &runs);
+    let digest = fnv1a_64(report.as_bytes());
+    assert_eq!(
+        digest, GOLDEN_SEED42_PRE_POLICYLAB_DIGEST,
+        "seed-42 pre-policylab report drifted: digest {digest:#018x}, expected \
+         {GOLDEN_SEED42_PRE_POLICYLAB_DIGEST:#018x}. The policy-object extraction (or another \
+         change) perturbed a pre-existing experiment. If the change is intentional, update \
+         GOLDEN_SEED42_PRE_POLICYLAB_DIGEST."
     );
 }
 

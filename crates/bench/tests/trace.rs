@@ -14,7 +14,14 @@ use acme_bench::{render_report, trace_processes};
 use acme_obs::{chrome_trace_json, journal};
 
 /// The experiments that record flight-recorder chunks.
-const INSTRUMENTED: [&str; 5] = ["pipeline", "storm", "evalstorm", "fleet", "blame"];
+const INSTRUMENTED: [&str; 6] = [
+    "pipeline",
+    "storm",
+    "evalstorm",
+    "fleet",
+    "blame",
+    "policylab",
+];
 
 fn traced_runs(seed: u64, jobs: usize, workers: usize) -> Vec<ExperimentRun> {
     let ids: Vec<String> = INSTRUMENTED.iter().map(|s| s.to_string()).collect();

@@ -12,6 +12,7 @@ mod extensions;
 mod failures;
 mod fleet;
 mod infra;
+mod policylab;
 pub mod queueing;
 pub mod runner;
 pub mod shard;
@@ -19,6 +20,7 @@ mod storm;
 mod training;
 mod workload;
 
+pub use policylab::validate_inputs as validate_policylab;
 pub use runner::{default_jobs, run_selection, ExperimentRun};
 pub use shard::{set_workers, ShardTiming};
 
@@ -343,6 +345,14 @@ pub fn all() -> Vec<Experiment> {
                    wasted GPU-time per fault category x recovery stage.",
             run: blame::blame,
         },
+        Experiment {
+            id: "policylab",
+            title: "§6 policy lab: recovery-policy Pareto sweep over fault intensity",
+            desc: "Sweeps checkpoint/retry/cordon/repair policies across seeds and \
+                   storm intensities; prints the Pareto frontier over goodput, \
+                   human actions and wasted GPU-time.",
+            run: policylab::policylab,
+        },
     ]
 }
 
@@ -425,13 +435,14 @@ mod tests {
             "evalstorm",
             "fleet",
             "blame",
+            "policylab",
         ] {
             assert!(ids.contains(&expected), "missing {expected}");
         }
-        assert_eq!(ids.len(), 40);
+        assert_eq!(ids.len(), 41);
         assert_eq!(
             ids.last(),
-            Some(&"blame"),
+            Some(&"policylab"),
             "new experiments append at the end so the historical registry is a stable prefix"
         );
         // Every entry carries a --list description.
@@ -470,7 +481,15 @@ mod tests {
     #[test]
     fn scale_grows_the_heavy_experiments_only() {
         // The stress knob must actually change the heavy workloads…
-        for id in ["data", "diag", "pipeline", "storm", "evalstorm", "blame"] {
+        for id in [
+            "data",
+            "diag",
+            "pipeline",
+            "storm",
+            "evalstorm",
+            "blame",
+            "policylab",
+        ] {
             let base = run(id, RunParams::new(3)).unwrap();
             let scaled = run(id, RunParams::with_scale(3, 2)).unwrap();
             assert_ne!(base, scaled, "{id} ignored scale");

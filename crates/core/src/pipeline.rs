@@ -97,6 +97,12 @@ pub struct FaultTolerantTrainer {
     pub automatic: bool,
     /// Nodes in the fleet (for the NCCL localizer).
     pub fleet_nodes: usize,
+    /// The recovery-orchestrator configuration the campaign runs under.
+    /// The friendly-world defaults use [`OrchestratorConfig::benign`]:
+    /// every ladder rung disabled, reproducing the historical stateless
+    /// `RecoveryManager` decision-for-decision (the differential test
+    /// pins this). Adversarial policies are swept by `repro policylab`.
+    pub orchestrator: OrchestratorConfig,
 }
 
 impl FaultTolerantTrainer {
@@ -107,6 +113,7 @@ impl FaultTolerantTrainer {
             checkpoint_interval: SimDuration::from_mins(30),
             automatic: true,
             fleet_nodes: 302,
+            orchestrator: OrchestratorConfig::benign(),
         }
     }
 
@@ -116,6 +123,7 @@ impl FaultTolerantTrainer {
             checkpoint_interval: SimDuration::from_hours(5),
             automatic: false,
             fleet_nodes: 302,
+            orchestrator: OrchestratorConfig::benign(),
         }
     }
 
@@ -160,13 +168,7 @@ impl FaultTolerantTrainer {
             self.checkpoint_interval.as_secs_f64(),
         );
         let mut pipeline = DiagnosisPipeline::with_all_rules();
-        // The friendly-world campaign runs the stateful orchestrator with
-        // every ladder rung disabled: in that configuration it reproduces
-        // the historical stateless `RecoveryManager` decision-for-decision
-        // (the differential test below pins this), so existing experiment
-        // output is byte-identical. Adversarial campaigns (`repro storm`)
-        // run the same orchestrator with the ladder armed.
-        let mut orchestrator = RecoveryOrchestrator::new(OrchestratorConfig::benign());
+        let mut orchestrator = RecoveryOrchestrator::new(self.orchestrator);
 
         let mut incidents = Vec::new();
         let mut manual = 0;

@@ -35,6 +35,7 @@ use acme_failure::{
     RetryPolicy, Watchdog,
 };
 use acme_obs::{ArgValue, Rec};
+use acme_policy::{CheckpointChoice, CordonPolicy, RepairModel};
 use acme_sim_core::{SimDuration, SimRng, SimTime};
 use acme_training::checkpoint::{
     CheckpointEngine, CheckpointMode, CheckpointScenario, DurabilityTracker,
@@ -74,7 +75,7 @@ impl StormPolicy {
             StormPolicy::NaiveRestart => OrchestratorConfig::benign(),
             StormPolicy::RetryBackoff => OrchestratorConfig {
                 retry: RetryPolicy::production(),
-                strike_threshold: u32::MAX,
+                cordon: CordonPolicy::disabled(),
                 validate_checkpoints: true,
             },
             StormPolicy::FullOrchestrator => OrchestratorConfig::production(),
@@ -82,11 +83,51 @@ impl StormPolicy {
     }
 }
 
+/// The full recovery-policy bundle one storm replay runs under: every
+/// hardwired choice of the legacy three-arm ablation lifted into a policy
+/// object. [`StormPolicies::for_arm`] reproduces each legacy arm exactly
+/// (the differential tests pin that byte for byte); the policy lab sweeps
+/// the other combinations.
+#[derive(Debug, Clone, Copy)]
+pub struct StormPolicies {
+    /// Table / shard label.
+    pub label: &'static str,
+    /// Naive always-restart: no ladder is consulted at all.
+    pub naive: bool,
+    /// Retry ladder, cordon threshold and checkpoint validation.
+    pub orchestrator: OrchestratorConfig,
+    /// Whether the hot-spare pool absorbs cordons.
+    pub use_spares: bool,
+    /// How cordoned nodes return to service.
+    pub repair: RepairModel,
+    /// Checkpoint-cadence strategy.
+    pub checkpoint: CheckpointChoice,
+    /// Noise lines per generated incident log bundle. The legacy arms use
+    /// 150 (pinned by the golden outputs); sweep cells use a shallower
+    /// bundle — the diagnostic signature lines are always present, so the
+    /// diagnosis is identical, only cheaper to render.
+    pub noise_lines: usize,
+}
+
+impl StormPolicies {
+    /// The policy bundle of one legacy ablation arm — the hardwired
+    /// constants of the original three-arm storm, now explicit.
+    pub fn for_arm(policy: StormPolicy) -> Self {
+        StormPolicies {
+            label: policy.label(),
+            naive: policy == StormPolicy::NaiveRestart,
+            orchestrator: policy.orchestrator_config(),
+            use_spares: policy == StormPolicy::FullOrchestrator,
+            repair: RepairModel::datacenter_default(),
+            checkpoint: CheckpointChoice::fixed(),
+            noise_lines: 150,
+        }
+    }
+}
+
 /// What one policy achieved against one storm.
 #[derive(Debug, Clone)]
 pub struct StormOutcome {
-    /// Which arm produced this.
-    pub policy: StormPolicy,
     /// Primary incidents handled.
     pub incidents: u32,
     /// Times a human had to act.
@@ -114,6 +155,24 @@ pub struct StormOutcome {
     pub degraded_loss_secs: f64,
     /// The campaign horizon.
     pub horizon: SimDuration,
+    /// The checkpoint interval the cadence policy chose, seconds.
+    pub checkpoint_interval_secs: f64,
+    /// GPU-seconds of checkpoint write traffic over the horizon:
+    /// (horizon / interval) × time-to-durable. Shorter intervals buy
+    /// cheaper rollbacks with more of this — the waste axis the Pareto
+    /// sweep trades against. Not printed by the legacy storm tables.
+    pub checkpoint_traffic_secs: f64,
+    /// Rush repair dispatches: one field-engineer page per cordon under an
+    /// expedited [`RepairModel`]. Zero for the legacy arms.
+    pub rush_dispatches: u32,
+    /// Total detect-stage seconds across incidents (diagnosis + watchdog
+    /// timeouts). Mirrors the flight recorder's stage instants, but is
+    /// accumulated even when no recorder is attached.
+    pub detect_secs: f64,
+    /// Total localize-stage seconds (NCCL sweeps + checkpoint validation).
+    pub localize_secs: f64,
+    /// Total restart/backoff-stage seconds (the recovery-wait residual).
+    pub restart_secs: f64,
 }
 
 impl StormOutcome {
@@ -129,6 +188,22 @@ impl StormOutcome {
         }
         self.downtime.as_mins_f64() / self.incidents as f64
     }
+
+    /// GPU-seconds thrown away: training rolled back, width-degradation
+    /// loss, restart cycles burnt crash-looping, and checkpoint write
+    /// traffic. One of the three Pareto axes of the policy lab.
+    pub fn wasted_gpu_secs(&self) -> f64 {
+        self.rollback_secs
+            + self.degraded_loss_secs
+            + RESTART.as_secs_f64() * self.crash_loop_restarts as f64
+            + self.checkpoint_traffic_secs
+    }
+
+    /// Humans in the loop: on-call interventions plus rush repair
+    /// dispatches. One of the three Pareto axes of the policy lab.
+    pub fn human_actions(&self) -> u32 {
+        self.manual_interventions + self.rush_dispatches
+    }
 }
 
 /// Fixed wall-time costs of the recovery machinery.
@@ -138,26 +213,25 @@ const RESTART: SimDuration = SimDuration::from_mins(10);
 const FLAP_REFAIL: SimDuration = SimDuration::from_mins(5);
 const BUG_REFAIL: SimDuration = SimDuration::from_mins(2);
 
-/// Turnaround for a cordoned node to be repaired and returned to service.
-/// Until then the cordon is either covered by a spare or shrinks the
-/// fleet.
-const REPAIR_TURNAROUND: SimDuration = SimDuration::from_hours(36);
-
 /// Live fleet capacity: spare pool, uncovered losses, and the repair
-/// queue that eventually returns cordoned nodes to service.
+/// queue that eventually returns cordoned nodes to service. Repair
+/// turnaround comes from the bundle's [`RepairModel`] (historically a
+/// hardwired 36 h constant).
 struct Fleet {
     total: u32,
     lost: u32,
     spares: SparePool,
+    repair_model: RepairModel,
     repairs: std::collections::BinaryHeap<std::cmp::Reverse<SimTime>>,
 }
 
 impl Fleet {
-    fn new(total: u32, spares: u32) -> Self {
+    fn new(total: u32, spares: u32, repair_model: RepairModel) -> Self {
         Fleet {
             total,
             lost: 0,
             spares: SparePool::new(spares),
+            repair_model,
             repairs: std::collections::BinaryHeap::new(),
         }
     }
@@ -171,7 +245,8 @@ impl Fleet {
     /// `false` when the fleet degrades instead. Either way the node enters
     /// the repair queue.
     fn cordon(&mut self, at: SimTime) -> bool {
-        self.repairs.push(std::cmp::Reverse(at + REPAIR_TURNAROUND));
+        self.repairs
+            .push(std::cmp::Reverse(self.repair_model.return_at(at)));
         if self.spares.draw() {
             true
         } else {
@@ -260,8 +335,8 @@ impl StormRunner {
         }
     }
 
-    /// Run `campaign` under `policy`. Deterministic in (campaign, policy,
-    /// rng-seed).
+    /// Run `campaign` under a legacy arm. Deterministic in (campaign,
+    /// policy, rng-seed).
     pub fn run(
         &self,
         campaign: &StormCampaign,
@@ -271,12 +346,10 @@ impl StormRunner {
         self.run_traced(campaign, policy, rng, &mut Rec::off())
     }
 
-    /// [`Self::run`] with a flight recorder attached: every incident
-    /// becomes a span named by its root cause and tagged with its
-    /// [`acme_failure::FailureCategory`], with instant events decomposing
-    /// the recovery wait into detect → localize → restart/backoff stages
-    /// (plus rollback and cordon markers). Recording never touches the
-    /// simulation: outcome and rng stream are identical to [`Self::run`].
+    /// [`Self::run`] with a flight recorder attached. Delegates to the
+    /// generalized [`Self::run_with_traced`] through the arm's policy
+    /// bundle — the differential tests pin that this path reproduces the
+    /// historical hardwired arms byte for byte.
     pub fn run_traced(
         &self,
         campaign: &StormCampaign,
@@ -284,24 +357,62 @@ impl StormRunner {
         rng: &mut SimRng,
         rec: &mut Rec<'_>,
     ) -> StormOutcome {
-        let tracker = DurabilityTracker::new(
-            CheckpointEngine::new(CheckpointScenario::paper_123b()),
+        self.run_with_traced(campaign, &StormPolicies::for_arm(policy), rng, rec)
+    }
+
+    /// Run `campaign` under an arbitrary policy bundle.
+    pub fn run_with(
+        &self,
+        campaign: &StormCampaign,
+        policies: &StormPolicies,
+        rng: &mut SimRng,
+    ) -> StormOutcome {
+        self.run_with_traced(campaign, policies, rng, &mut Rec::off())
+    }
+
+    /// [`Self::run_with`] with a flight recorder attached: every incident
+    /// becomes a span named by its root cause and tagged with its
+    /// [`acme_failure::FailureCategory`], with instant events decomposing
+    /// the recovery wait into detect → localize → restart/backoff stages
+    /// (plus rollback and cordon markers). Recording never touches the
+    /// simulation: outcome and rng stream are identical to
+    /// [`Self::run_with`].
+    pub fn run_with_traced(
+        &self,
+        campaign: &StormCampaign,
+        policies: &StormPolicies,
+        rng: &mut SimRng,
+        rec: &mut Rec<'_>,
+    ) -> StormOutcome {
+        let engine = CheckpointEngine::new(CheckpointScenario::paper_123b());
+        // The cadence policy sees the observed campaign conditions: the
+        // storm's empirical MTTF and how much of it cascades.
+        let events_n = campaign.events.len().max(1) as f64;
+        let mttf_secs = campaign.horizon.as_secs_f64() / events_n;
+        let cascade_fraction = campaign
+            .events
+            .iter()
+            .filter(|e| !e.secondaries.is_empty())
+            .count() as f64
+            / events_n;
+        let tracker = DurabilityTracker::with_policy(
+            engine,
             CheckpointMode::Asynchronous,
+            &policies.checkpoint,
             self.checkpoint_interval.as_secs_f64(),
+            mttf_secs,
+            cascade_fraction,
         );
         let mut pipeline = DiagnosisPipeline::with_all_rules();
-        let mut orch = RecoveryOrchestrator::new(policy.orchestrator_config());
+        let mut orch = RecoveryOrchestrator::new(policies.orchestrator);
         let mut fleet = Fleet::new(
             self.fleet_nodes,
-            match policy {
-                StormPolicy::FullOrchestrator => self.spares,
-                _ => 0,
-            },
+            if policies.use_spares { self.spares } else { 0 },
+            policies.repair,
         );
 
-        let interval = self.checkpoint_interval.as_secs_f64();
+        let interval = tracker.interval_secs;
         let mut out = StormOutcome {
-            policy,
             incidents: 0,
             manual_interventions: 0,
             escalations: 0,
@@ -314,6 +425,13 @@ impl StormRunner {
             degraded_secs: 0.0,
             degraded_loss_secs: 0.0,
             horizon: campaign.horizon,
+            checkpoint_interval_secs: interval,
+            checkpoint_traffic_secs: campaign.horizon.as_secs_f64() / interval
+                * engine.durable_secs(CheckpointMode::Asynchronous),
+            rush_dispatches: 0,
+            detect_secs: 0.0,
+            localize_secs: 0.0,
+            restart_secs: 0.0,
         };
 
         // Nodes permanently out of the fault pool: cordoned by the ladder
@@ -338,15 +456,16 @@ impl StormRunner {
 
             // Diagnose: the cascade's secondary errors are exactly what the
             // log renderer buries the root cause under.
-            let bundle = LogBundle::generate(e.reason, 150, rng);
+            let bundle = LogBundle::generate(e.reason, policies.noise_lines, rng);
             let report = pipeline
                 .diagnose(&bundle.lines)
                 .expect("generated logs are diagnosable");
 
             let base_needs_human = acme_failure::RecoveryManager.decide(&report).needs_human();
-            let decision = match policy {
-                StormPolicy::NaiveRestart => None,
-                _ => Some(orch.decide(e.at, &report)),
+            let decision = if policies.naive {
+                None
+            } else {
+                Some(orch.decide(e.at, &report))
             };
 
             let mut wait = DIAGNOSE;
@@ -392,6 +511,9 @@ impl StormRunner {
                                 orch.mark_cordoned(e.node);
                                 fixed.insert(e.node);
                                 out.nodes_cordoned += 1;
+                                if policies.repair.rush {
+                                    out.rush_dispatches += 1;
+                                }
                                 let covered = fleet.cordon(e.at + wait);
                                 if covered {
                                     out.spares_used += 1;
@@ -448,6 +570,9 @@ impl StormRunner {
                                     orch.mark_cordoned(e.node);
                                     fixed.insert(e.node);
                                     out.nodes_cordoned += 1;
+                                    if policies.repair.rush {
+                                        out.rush_dispatches += 1;
+                                    }
                                     let covered = fleet.cordon(e.at + wait);
                                     if covered {
                                         out.spares_used += 1;
@@ -535,6 +660,11 @@ impl StormRunner {
             }
             out.downtime += wait;
             out.rollback_secs += rollback;
+            // Stage attribution, recorder or not: the three stages always
+            // partition the recovery wait exactly.
+            out.detect_secs += detect.as_secs_f64();
+            out.localize_secs += localize.as_secs_f64();
+            out.restart_secs += (wait - detect - localize).as_secs_f64();
             if rec.enabled() {
                 let t0 = e.at.as_secs_f64();
                 let restart = wait - detect - localize;
@@ -682,6 +812,113 @@ mod tests {
         // Degradation is a throughput haircut, not a stall: goodput stays
         // well above zero.
         assert!(full.goodput() > 0.5, "goodput {:.3}", full.goodput());
+    }
+
+    #[test]
+    fn for_arm_pins_the_legacy_constants() {
+        // The hardwired values the refactor lifted into policy objects —
+        // changing any of these breaks golden byte-compatibility.
+        for policy in [
+            StormPolicy::NaiveRestart,
+            StormPolicy::RetryBackoff,
+            StormPolicy::FullOrchestrator,
+        ] {
+            let b = StormPolicies::for_arm(policy);
+            assert_eq!(b.label, policy.label());
+            assert_eq!(b.noise_lines, 150);
+            assert_eq!(b.repair, RepairModel::datacenter_default());
+            assert_eq!(b.repair.turnaround, SimDuration::from_hours(36));
+            assert!(!b.repair.rush);
+            assert_eq!(b.checkpoint, CheckpointChoice::fixed());
+        }
+        assert!(StormPolicies::for_arm(StormPolicy::NaiveRestart).naive);
+        assert!(!StormPolicies::for_arm(StormPolicy::RetryBackoff).use_spares);
+        assert!(StormPolicies::for_arm(StormPolicy::FullOrchestrator).use_spares);
+    }
+
+    #[test]
+    fn policy_bundles_reproduce_the_legacy_arms_exactly() {
+        // The differential guarantee of the tentpole: the generalized
+        // bundle path is decision-for-decision identical to the legacy
+        // hardwired arms, across seeds.
+        for seed in [42, 7, 3] {
+            for policy in [
+                StormPolicy::NaiveRestart,
+                StormPolicy::RetryBackoff,
+                StormPolicy::FullOrchestrator,
+            ] {
+                let campaign = storm(seed);
+                let runner = StormRunner::deployed(campaign.fleet_nodes);
+                let legacy = {
+                    let mut rng = SimRng::new(seed).fork(2000 + policy as u64);
+                    runner.run(&campaign, policy, &mut rng)
+                };
+                let bundled = {
+                    let mut rng = SimRng::new(seed).fork(2000 + policy as u64);
+                    runner.run_with(&campaign, &StormPolicies::for_arm(policy), &mut rng)
+                };
+                assert_eq!(legacy.incidents, bundled.incidents);
+                assert_eq!(legacy.manual_interventions, bundled.manual_interventions);
+                assert_eq!(legacy.escalations, bundled.escalations);
+                assert_eq!(legacy.crash_loop_restarts, bundled.crash_loop_restarts);
+                assert_eq!(legacy.nodes_cordoned, bundled.nodes_cordoned);
+                assert_eq!(legacy.spares_used, bundled.spares_used);
+                assert_eq!(legacy.downtime, bundled.downtime);
+                assert_eq!(legacy.rollback_secs, bundled.rollback_secs);
+                assert_eq!(legacy.useful_secs, bundled.useful_secs);
+                assert_eq!(legacy.degraded_secs, bundled.degraded_secs);
+            }
+        }
+    }
+
+    #[test]
+    fn shallow_log_bundles_remain_diagnosable() {
+        // Sweep cells render 24 noise lines instead of 150: the diagnosis
+        // signature lines are always present, so every incident still
+        // diagnoses (the runner would panic otherwise) at a sixth of the
+        // render cost. The rng stream advances differently, which is why
+        // the legacy arms pin 150 for golden byte-compatibility.
+        let campaign = storm(42);
+        let runner = StormRunner::deployed(campaign.fleet_nodes);
+        let mut shallow = StormPolicies::for_arm(StormPolicy::FullOrchestrator);
+        shallow.noise_lines = 24;
+        let o = runner.run_with(&campaign, &shallow, &mut SimRng::new(1).fork(77));
+        assert!(o.incidents > 20, "{} incidents", o.incidents);
+        assert!(o.goodput() > 0.5 && o.goodput() < 1.0);
+        // And determinism holds at the shallow depth.
+        let o2 = runner.run_with(&campaign, &shallow, &mut SimRng::new(1).fork(77));
+        assert_eq!(o.useful_secs, o2.useful_secs);
+        assert_eq!(o.downtime, o2.downtime);
+    }
+
+    #[test]
+    fn stage_totals_partition_the_downtime() {
+        for policy in [
+            StormPolicy::NaiveRestart,
+            StormPolicy::RetryBackoff,
+            StormPolicy::FullOrchestrator,
+        ] {
+            let o = outcome(42, policy);
+            let staged = o.detect_secs + o.localize_secs + o.restart_secs;
+            assert!(
+                (staged - o.downtime.as_secs_f64()).abs() < 1e-6,
+                "{policy:?}: stages {staged:.1}s vs downtime {:.1}s",
+                o.downtime.as_secs_f64()
+            );
+        }
+    }
+
+    #[test]
+    fn expedited_repair_pages_per_cordon() {
+        let campaign = storm(42);
+        let runner = StormRunner::deployed(campaign.fleet_nodes);
+        let mut rush = StormPolicies::for_arm(StormPolicy::FullOrchestrator);
+        rush.repair = RepairModel::expedited();
+        let o = runner.run_with(&campaign, &rush, &mut SimRng::new(42).fork(88));
+        assert_eq!(o.rush_dispatches, o.nodes_cordoned);
+        assert_eq!(o.human_actions(), o.manual_interventions + o.nodes_cordoned);
+        let default = outcome(42, StormPolicy::FullOrchestrator);
+        assert_eq!(default.rush_dispatches, 0);
     }
 
     #[test]

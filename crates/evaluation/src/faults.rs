@@ -32,6 +32,7 @@ use acme_cluster::SharedStorage;
 use acme_failure::orchestrator::RetryPolicy;
 use acme_failure::taxonomy::{FailureCategory, FailureReason};
 use acme_obs::{ArgValue, Rec};
+use acme_policy::{RepackPolicy, SpeculationPolicy};
 use acme_sim_core::dist::{Distribution, Exponential};
 use acme_sim_core::rng::SplitMix64;
 use acme_sim_core::{EventQueue, SimRng, SimTime};
@@ -41,11 +42,6 @@ use crate::coordinator::{plan_order, CoordinatorError, Scheduler};
 
 /// Seconds to respawn a crashed trial process before any backoff applies.
 const RESTART_DELAY_SECS: f64 = 5.0;
-/// The watchdog flags a trial once it runs this multiple of its prior.
-const WATCHDOG_FACTOR: f64 = 2.0;
-/// Slack added to the watchdog deadline so tiny shards aren't flagged by
-/// scheduling noise.
-const WATCHDOG_SLACK_SECS: f64 = 1.0;
 /// Metric flake chains are cut after this many attempts (the CPU pool
 /// pages a human instead); keeps every chain finite.
 const MAX_METRIC_ATTEMPTS: u32 = 8;
@@ -378,11 +374,11 @@ pub struct FaultTolerantCoordinator {
     /// the whole consolidated trial ends, and a crash loses all of them.
     pub dataset_tracking: bool,
     /// Watchdog-driven straggler detection with speculative re-execution.
-    pub speculation: bool,
-    /// Re-pack work stranded on dead nodes onto survivors immediately.
-    /// Off: stranded work waits for a manual resubmission wave after the
-    /// rest of the campaign drains.
-    pub elastic_repack: bool,
+    pub speculation: SpeculationPolicy,
+    /// Elastic re-packing of work stranded on dead nodes. Fixed-width:
+    /// stranded work waits for a manual resubmission wave after the rest
+    /// of the campaign drains.
+    pub repack: RepackPolicy,
 }
 
 impl FaultTolerantCoordinator {
@@ -392,30 +388,51 @@ impl FaultTolerantCoordinator {
             restart_whole_campaign: true,
             retry: RetryPolicy::infinite(),
             dataset_tracking: false,
-            speculation: false,
-            elastic_repack: false,
+            speculation: SpeculationPolicy::disabled(),
+            repack: RepackPolicy::fixed_width(),
         }
     }
 
     /// Retry-only arm: the backoff ladder, nothing else.
     pub fn retry_only() -> Self {
+        Self::retry_only_with(RetryPolicy::evaluation())
+    }
+
+    /// Retry-only arm with an explicit ladder (the policy lab sweeps
+    /// these; [`Self::retry_only`] pins the historical default).
+    pub fn retry_only_with(retry: RetryPolicy) -> Self {
         FaultTolerantCoordinator {
             restart_whole_campaign: false,
-            retry: RetryPolicy::evaluation(),
+            retry,
             dataset_tracking: false,
-            speculation: false,
-            elastic_repack: false,
+            speculation: SpeculationPolicy::disabled(),
+            repack: RepackPolicy::fixed_width(),
         }
     }
 
     /// Everything on.
     pub fn full() -> Self {
+        Self::full_with(
+            RetryPolicy::evaluation(),
+            SpeculationPolicy::watchdog(),
+            RepackPolicy::elastic(),
+        )
+    }
+
+    /// The full coordinator with explicit policy objects ([`Self::full`]
+    /// pins the historical defaults: evaluation ladder, 2×+1 s watchdog,
+    /// elastic re-packing).
+    pub fn full_with(
+        retry: RetryPolicy,
+        speculation: SpeculationPolicy,
+        repack: RepackPolicy,
+    ) -> Self {
         FaultTolerantCoordinator {
             restart_whole_campaign: false,
-            retry: RetryPolicy::evaluation(),
+            retry,
             dataset_tracking: true,
-            speculation: true,
-            elastic_repack: true,
+            speculation,
+            repack,
         }
     }
 
@@ -843,9 +860,11 @@ impl<'a> CampaignSim<'a> {
                     ("spec", ArgValue::Str(if w.spec { "yes" } else { "no" })),
                 ],
             );
-            if self.ft.speculation && !w.spec {
+            if self.ft.speculation.enabled && !w.spec {
                 self.queue.schedule(
-                    key(now + base * WATCHDOG_FACTOR + WATCHDOG_SLACK_SECS),
+                    key(now
+                        + base * self.ft.speculation.watchdog_factor
+                        + self.ft.speculation.slack_secs),
                     Ev::Watchdog {
                         gpu: g,
                         item: w.item,
@@ -1020,7 +1039,7 @@ impl<'a> CampaignSim<'a> {
         if escalated {
             self.escalations += 1;
         }
-        if escalated || self.ft.elastic_repack {
+        if escalated || self.ft.repack.elastic {
             // Migrate: any surviving GPU may pick the work up immediately.
             for w in requeue.into_iter().rev() {
                 self.global.push_front(w);
@@ -1090,7 +1109,7 @@ impl<'a> CampaignSim<'a> {
         }
         if self.ft.restart_whole_campaign {
             self.campaign_restart(now, infra);
-        } else if self.ft.elastic_repack {
+        } else if self.ft.repack.elastic {
             // Elastic re-packing: survivors absorb the stranded shards now.
             self.rec.instant(
                 now,

@@ -27,11 +27,18 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use acme_policy::{CordonPolicy, PolicyError};
 use acme_sim_core::{SimDuration, SimTime};
 
 use crate::diagnose::DiagnosisReport;
 use crate::recovery::{RecoveryAction, RecoveryManager};
 use crate::taxonomy::FailureReason;
+
+// The retry ladder is now a first-class policy object shared with the
+// policy lab; the canonical definition lives in `acme-policy` and is
+// re-exported here so existing `failure::orchestrator::RetryPolicy`
+// call sites keep working unchanged.
+pub use acme_policy::RetryPolicy;
 
 /// Identity of an incident for retry accounting: repeated *identical*
 /// trouble is what consumes the budget.
@@ -45,80 +52,13 @@ pub enum IncidentKey {
     LossSpike,
 }
 
-/// Retry budget and backoff schedule.
-#[derive(Debug, Clone, Copy)]
-pub struct RetryPolicy {
-    /// Identical incidents tolerated within one window before escalation.
-    pub budget: u32,
-    /// Backoff before the second attempt; doubles per further attempt.
-    pub backoff_base: SimDuration,
-    /// Backoff ceiling.
-    pub backoff_cap: SimDuration,
-    /// Sliding window: an identical incident further apart than this
-    /// resets the attempt count (a fresh incident, not a loop).
-    pub window: SimDuration,
-}
-
-impl RetryPolicy {
-    /// No ladder at all: infinite budget, zero backoff. The configuration
-    /// under which the orchestrator equals the stateless manager.
-    pub fn infinite() -> Self {
-        RetryPolicy {
-            budget: u32::MAX,
-            backoff_base: SimDuration::ZERO,
-            backoff_cap: SimDuration::ZERO,
-            window: SimDuration::ZERO,
-        }
-    }
-
-    /// The production ladder: three identical incidents within four hours,
-    /// backing off 1 → 2 → 4 → … minutes (capped at 16), then a human.
-    pub fn production() -> Self {
-        RetryPolicy {
-            budget: 3,
-            backoff_base: SimDuration::from_mins(1),
-            backoff_cap: SimDuration::from_mins(16),
-            window: SimDuration::from_hours(4),
-        }
-    }
-
-    /// The evaluation-campaign ladder: trials are minutes long, so the
-    /// backoff runs in seconds (10 s doubling to 160 s) with a one-hour
-    /// window and four identical crashes tolerated before the coordinator
-    /// escalates (migrates the work instead of retrying in place).
-    pub fn evaluation() -> Self {
-        RetryPolicy {
-            budget: 4,
-            backoff_base: SimDuration::from_secs(10),
-            backoff_cap: SimDuration::from_secs(160),
-            window: SimDuration::from_hours(1),
-        }
-    }
-
-    /// Backoff before attempt `attempt` (1-based; the first attempt never
-    /// waits).
-    pub fn backoff(&self, attempt: u32) -> SimDuration {
-        if attempt <= 1 || self.backoff_base.is_zero() {
-            return SimDuration::ZERO;
-        }
-        let doublings = (attempt - 2).min(20);
-        let raw = self.backoff_base * (1u64 << doublings);
-        if raw > self.backoff_cap {
-            self.backoff_cap
-        } else {
-            raw
-        }
-    }
-}
-
 /// Full orchestrator configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct OrchestratorConfig {
     /// Retry budget and backoff.
     pub retry: RetryPolicy,
-    /// Strikes against one node before it is cordoned (`u32::MAX`
-    /// disables strike-based cordoning).
-    pub strike_threshold: u32,
+    /// Strike-threshold cordoning policy.
+    pub cordon: CordonPolicy,
     /// Whether checkpoints are verified on load (generation fallback on
     /// corruption instead of a crash loop).
     pub validate_checkpoints: bool,
@@ -129,7 +69,7 @@ impl OrchestratorConfig {
     pub fn benign() -> Self {
         OrchestratorConfig {
             retry: RetryPolicy::infinite(),
-            strike_threshold: u32::MAX,
+            cordon: CordonPolicy::disabled(),
             validate_checkpoints: false,
         }
     }
@@ -139,9 +79,18 @@ impl OrchestratorConfig {
     pub fn production() -> Self {
         OrchestratorConfig {
             retry: RetryPolicy::production(),
-            strike_threshold: 2,
+            cordon: CordonPolicy::two_strikes(),
             validate_checkpoints: true,
         }
+    }
+
+    /// Structured validation of every policy field: a zero retry budget
+    /// escalates each incident on sight, an inverted backoff pair clamps
+    /// silently, and a zero strike threshold cordons the fleet dry.
+    pub fn validate(&self) -> Result<(), PolicyError> {
+        self.retry.validate()?;
+        self.cordon.validate()?;
+        Ok(())
     }
 }
 
@@ -254,7 +203,7 @@ impl RecoveryOrchestrator {
     /// Whether the node's strikes have crossed the cordon threshold (and
     /// it is not already cordoned).
     pub fn should_cordon(&self, node: u32) -> bool {
-        !self.cordoned.contains(&node) && self.strikes(node) >= self.config.strike_threshold
+        !self.cordoned.contains(&node) && self.config.cordon.should_cordon(self.strikes(node))
     }
 
     /// Mark a node cordoned.
@@ -389,6 +338,27 @@ mod tests {
         assert_eq!(orch.cordoned_count(), 1);
         // Other nodes unaffected.
         assert_eq!(orch.strikes(8), 0);
+    }
+
+    #[test]
+    fn config_validation_catches_degenerate_ladders() {
+        OrchestratorConfig::benign().validate().unwrap();
+        OrchestratorConfig::production().validate().unwrap();
+        let mut cfg = OrchestratorConfig::production();
+        cfg.retry.budget = 0;
+        assert!(matches!(
+            cfg.validate(),
+            Err(PolicyError::ZeroBudget { .. })
+        ));
+        let mut cfg = OrchestratorConfig::production();
+        cfg.retry.backoff_cap = SimDuration::ZERO;
+        assert!(matches!(cfg.validate(), Err(PolicyError::Inverted { .. })));
+        let mut cfg = OrchestratorConfig::production();
+        cfg.cordon = CordonPolicy::strikes(0);
+        assert!(matches!(
+            cfg.validate(),
+            Err(PolicyError::NonPositive { .. })
+        ));
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! Same seed → byte-identical campaign; no event (primary or secondary) is
 //! ever scheduled past the horizon.
 
+use acme_policy::{validate_probability, PolicyError};
 use acme_sim_core::dist::{Categorical, Distribution, Exponential};
 use acme_sim_core::{SimDuration, SimRng, SimTime};
 
@@ -116,6 +117,31 @@ impl StormConfig {
         c.horizon = c.horizon * scale.max(1) as u64;
         c
     }
+
+    /// Structured validation: zero horizons/MTBFs, empty fleets, oversized
+    /// hot subsets and NaN probabilities are reported instead of silently
+    /// misbehaving. [`StormEngine::new`] panics with the same messages;
+    /// the policylab arg path surfaces them as usage errors.
+    pub fn validate(&self) -> Result<(), PolicyError> {
+        if self.horizon.is_zero() {
+            return Err(PolicyError::NonPositive { field: "horizon" });
+        }
+        if self.mean_between.is_zero() {
+            return Err(PolicyError::NonPositive { field: "MTBF" });
+        }
+        if self.fleet_nodes == 0 {
+            return Err(PolicyError::Empty { field: "fleet" });
+        }
+        if self.hot_nodes == 0 || self.hot_nodes > self.fleet_nodes {
+            return Err(PolicyError::NotSubset {
+                field: "hot subset",
+            });
+        }
+        validate_probability("flap_prob", self.flap_prob)?;
+        validate_probability("corrupt_prob", self.corrupt_prob)?;
+        validate_probability("hang_prob", self.hang_prob)?;
+        Ok(())
+    }
 }
 
 /// A generated campaign: every event, sorted by strike time.
@@ -178,15 +204,13 @@ const STORM_MIX: [(FailureReason, f64); 12] = [
 ];
 
 impl StormEngine {
-    /// Wrap a config.
+    /// Wrap a config. Panics on an invalid one with the same message
+    /// [`StormConfig::validate`] returns; callers wanting a structured
+    /// error validate first.
     pub fn new(config: StormConfig) -> Self {
-        assert!(!config.horizon.is_zero(), "horizon must be positive");
-        assert!(!config.mean_between.is_zero(), "MTBF must be positive");
-        assert!(config.fleet_nodes > 0, "fleet cannot be empty");
-        assert!(
-            config.hot_nodes > 0 && config.hot_nodes <= config.fleet_nodes,
-            "hot subset must be a non-empty subset of the fleet"
-        );
+        if let Err(e) = config.validate() {
+            panic!("{e}");
+        }
         StormEngine { config }
     }
 
@@ -353,5 +377,62 @@ mod tests {
         let mut c = StormConfig::default_storm();
         c.hot_nodes = c.fleet_nodes + 1;
         StormEngine::new(c);
+    }
+
+    #[test]
+    fn validate_reports_structured_errors() {
+        StormConfig::default_storm().validate().unwrap();
+        StormConfig::scaled(3).validate().unwrap();
+
+        let mut c = StormConfig::default_storm();
+        c.horizon = SimDuration::ZERO;
+        let e = c.validate().unwrap_err();
+        assert!(matches!(e, PolicyError::NonPositive { field: "horizon" }));
+        assert_eq!(e.to_string(), "horizon must be positive");
+
+        let mut c = StormConfig::default_storm();
+        c.mean_between = SimDuration::ZERO;
+        assert_eq!(
+            c.validate().unwrap_err().to_string(),
+            "MTBF must be positive"
+        );
+
+        let mut c = StormConfig::default_storm();
+        c.fleet_nodes = 0;
+        assert_eq!(
+            c.validate().unwrap_err().to_string(),
+            "fleet cannot be empty"
+        );
+
+        let mut c = StormConfig::default_storm();
+        c.hot_nodes = c.fleet_nodes + 1;
+        assert_eq!(
+            c.validate().unwrap_err().to_string(),
+            "hot subset must be a non-empty subset of the fleet"
+        );
+
+        let mut c = StormConfig::default_storm();
+        c.flap_prob = f64::NAN;
+        assert!(matches!(
+            c.validate(),
+            Err(PolicyError::NonFinite {
+                field: "flap_prob",
+                ..
+            })
+        ));
+
+        let mut c = StormConfig::default_storm();
+        c.corrupt_prob = 1.5;
+        assert!(matches!(
+            c.validate(),
+            Err(PolicyError::OutOfRange {
+                field: "corrupt_prob",
+                ..
+            })
+        ));
+
+        let mut c = StormConfig::default_storm();
+        c.hang_prob = -0.1;
+        assert!(c.validate().is_err());
     }
 }

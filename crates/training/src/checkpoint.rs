@@ -14,6 +14,8 @@
 //! The blocking-time ratio between the two is the paper's headline
 //! **3.6×** (7B) to **58.7×** (123B) reduction at a 30-minute interval.
 
+use acme_policy::{CheckpointContext, CheckpointPolicy};
+
 use crate::model::ModelConfig;
 
 /// How the checkpoint is taken.
@@ -275,6 +277,32 @@ impl DurabilityTracker {
         }
     }
 
+    /// Track checkpoints at the cadence a [`CheckpointPolicy`] chooses for
+    /// the observed campaign conditions. The policy sees the deployment's
+    /// default interval, the engine's time-to-durable under `mode` (the δ
+    /// of the Young/Daly formula — what a checkpoint actually *costs*, not
+    /// just its blocking stall), the observed MTTF and the cascade
+    /// fraction.
+    ///
+    /// `with_policy(engine, mode, &FixedInterval, d, …)` is exactly
+    /// `new(engine, mode, d)` — the differential tests pin that.
+    pub fn with_policy(
+        engine: CheckpointEngine,
+        mode: CheckpointMode,
+        policy: &dyn CheckpointPolicy,
+        default_interval_secs: f64,
+        mttf_secs: f64,
+        cascade_fraction: f64,
+    ) -> Self {
+        let ctx = CheckpointContext {
+            default_secs: default_interval_secs,
+            checkpoint_cost_secs: engine.durable_secs(mode),
+            mttf_secs,
+            cascade_fraction,
+        };
+        Self::new(engine, mode, policy.interval_secs(&ctx))
+    }
+
     /// The training-time position (seconds since run start) of the newest
     /// checkpoint that is durable at wall time `t` seconds. Returns 0.0
     /// when nothing is durable yet (restart from the run's beginning).
@@ -358,6 +386,75 @@ mod durability_tests {
         let t = tracker(CheckpointMode::Asynchronous);
         assert_eq!(t.durable_position_at(0.0), 0.0);
         assert_eq!(t.durable_position_at(60.0), 0.0);
+    }
+
+    #[test]
+    fn fixed_policy_reproduces_the_plain_constructor() {
+        // The differential guarantee for the policy hook: a FixedInterval
+        // policy is byte-identical to `new` at the same interval.
+        let engine = CheckpointEngine::new(CheckpointScenario::paper_123b());
+        let direct = DurabilityTracker::new(engine, CheckpointMode::Asynchronous, 1800.0);
+        let via_policy = DurabilityTracker::with_policy(
+            engine,
+            CheckpointMode::Asynchronous,
+            &acme_policy::FixedInterval,
+            1800.0,
+            21_600.0,
+            0.5,
+        );
+        assert_eq!(direct.interval_secs, via_policy.interval_secs);
+        for t in [0.0, 1801.0, 7200.0, 100_000.0] {
+            assert_eq!(
+                direct.durable_position_at(t),
+                via_policy.durable_position_at(t)
+            );
+        }
+    }
+
+    #[test]
+    fn young_daly_policy_sees_the_durable_cost() {
+        // δ must be the time-to-durable (what a checkpoint costs), not the
+        // 3.3 s blocking stall — the whole interval tradeoff hinges on it.
+        let engine = CheckpointEngine::new(CheckpointScenario::paper_123b());
+        let delta = engine.durable_secs(CheckpointMode::Asynchronous);
+        let t = DurabilityTracker::with_policy(
+            engine,
+            CheckpointMode::Asynchronous,
+            &acme_policy::YoungDaly,
+            1800.0,
+            21_600.0,
+            0.5,
+        );
+        let want = acme_policy::young_daly_interval_secs(delta, 21_600.0);
+        assert!((t.interval_secs - want).abs() < 1e-9);
+        assert!(
+            t.interval_secs > 1800.0,
+            "123B Young/Daly interval ({:.0}s) should exceed the fixed 30 min",
+            t.interval_secs
+        );
+    }
+
+    #[test]
+    fn adaptive_policy_halves_under_cascades() {
+        let engine = CheckpointEngine::new(CheckpointScenario::paper_123b());
+        let stormy = DurabilityTracker::with_policy(
+            engine,
+            CheckpointMode::Asynchronous,
+            &acme_policy::AdaptiveOnCascade::halving(),
+            1800.0,
+            21_600.0,
+            0.5,
+        );
+        assert_eq!(stormy.interval_secs, 900.0);
+        let calm = DurabilityTracker::with_policy(
+            engine,
+            CheckpointMode::Asynchronous,
+            &acme_policy::AdaptiveOnCascade::halving(),
+            1800.0,
+            21_600.0,
+            0.1,
+        );
+        assert_eq!(calm.interval_secs, 1800.0);
     }
 
     #[test]
