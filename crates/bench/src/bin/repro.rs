@@ -65,6 +65,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    // Same pre-flight for the netstorm ablation: a degenerate fat tree
+    // (zero-capacity links, bad radix, out-of-range oversubscription) or
+    // storm surface is a usage error before any flow is routed.
+    if selection.iter().any(|e| e.id == "netstorm") {
+        if let Err(e) = acme::experiments::validate_netstorm(args.scale) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     let requested_jobs = args.jobs.unwrap_or_else(acme::experiments::default_jobs);
     let jobs = requested_jobs.min(selection.len().max(1));

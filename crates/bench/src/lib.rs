@@ -252,7 +252,8 @@ pub fn parse_sweep_label(label: &str) -> Option<(&str, u64, u32)> {
 
 /// Machine-readable timing dump (hand-rolled JSON; no serde in-tree).
 /// Schema: `{seed, jobs, wall_ms, peak_rss_bytes, experiments:
-/// [{id, ms, events_processed, max_queue_depth}, ...], shards:
+/// [{id, ms, events_processed, max_queue_depth, flows_routed,
+/// max_link_utilization}, ...], shards:
 /// [{experiment, shard, ms}, ...], sweep:
 /// [{experiment, policy, seed, intensity, ms}, ...]}` with experiments in
 /// selection order and shards in per-experiment execution order. The flat
@@ -265,7 +266,11 @@ pub fn parse_sweep_label(label: &str) -> Option<(&str, u64, u32)> {
 /// `events_processed` and `max_queue_depth` come from the sim-core
 /// event-queue counters (`acme_sim_core::stats`): events popped and peak
 /// pending depth across every queue the experiment dropped — 0 for
-/// experiments that never touch the event queue. `peak_rss` is the
+/// experiments that never touch the event queue. `flows_routed` and
+/// `max_link_utilization` come from the network-substrate counters
+/// (`acme_cluster::net::stats`): flows pushed through the fat-tree
+/// scheduler and the busiest link's time-averaged utilization — 0 for
+/// experiments that never route traffic. `peak_rss` is the
 /// caller's [`peak_rss_bytes`] reading, taken as a parameter so the
 /// renderer stays a pure function.
 pub fn render_timings_json(
@@ -289,11 +294,14 @@ pub fn render_timings_json(
         let comma = if i + 1 == runs.len() { "" } else { "," };
         out.push_str(&format!(
             "    {{\"id\": \"{}\", \"ms\": {:.3}, \"events_processed\": {}, \
-             \"max_queue_depth\": {}}}{comma}\n",
+             \"max_queue_depth\": {}, \"flows_routed\": {}, \
+             \"max_link_utilization\": {:.3}}}{comma}\n",
             run.id,
             run.wall.as_secs_f64() * 1e3,
             run.queue.pops,
-            run.queue.max_depth
+            run.queue.max_depth,
+            run.net.flows_routed,
+            run.net.max_link_utilization
         ));
     }
     out.push_str("  ],\n");
@@ -350,6 +358,7 @@ mod tests {
             shards: Vec::new(),
             trace: Vec::new(),
             queue: acme_sim_core::stats::QueueStats::ZERO,
+            net: acme_cluster::net::stats::NetStats::ZERO,
         }
     }
 
@@ -501,6 +510,10 @@ mod tests {
             resizes: 1,
             max_depth: 5,
         };
+        runs[1].net = acme_cluster::net::stats::NetStats {
+            flows_routed: 64,
+            max_link_utilization: 0.875,
+        };
         let j = render_timings_json(42, &runs, 8, Duration::from_millis(7), 12_345_678);
         assert!(j.contains("\"seed\": 42"));
         assert!(j.contains("\"jobs\": 8"));
@@ -508,13 +521,15 @@ mod tests {
         // fields, so `bench_guard`'s id scanner never sees it.
         assert!(j.contains("\"peak_rss_bytes\": 12345678,\n"));
         assert!(j.find("\"peak_rss_bytes\"").unwrap() < j.find("\"experiments\"").unwrap());
-        // Queue counters ride along per experiment (0 when the experiment
-        // never touched the event queue).
+        // Queue and network counters ride along per experiment (0 when the
+        // experiment never touched the event queue or the fat tree).
         assert!(j.contains(
-            "{\"id\": \"x\", \"ms\": 3.000, \"events_processed\": 0, \"max_queue_depth\": 0},"
+            "{\"id\": \"x\", \"ms\": 3.000, \"events_processed\": 0, \"max_queue_depth\": 0, \
+             \"flows_routed\": 0, \"max_link_utilization\": 0.000},"
         ));
         assert!(j.contains(
-            "{\"id\": \"y\", \"ms\": 4.000, \"events_processed\": 11, \"max_queue_depth\": 5}\n"
+            "{\"id\": \"y\", \"ms\": 4.000, \"events_processed\": 11, \"max_queue_depth\": 5, \
+             \"flows_routed\": 64, \"max_link_utilization\": 0.875}\n"
         ));
         // Unsharded runs still emit the (empty) shards and sweep sections.
         assert!(j.contains("\"shards\": [\n  ]"));

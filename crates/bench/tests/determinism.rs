@@ -49,7 +49,7 @@ fn oversubscribed_workers_are_harmless() {
 
 /// The experiments that fan out internally. Shard workers must never
 /// change a byte of output, at any seed.
-const SHARDED: [&str; 9] = [
+const SHARDED: [&str; 10] = [
     "diag",
     "pipeline",
     "data",
@@ -59,6 +59,7 @@ const SHARDED: [&str; 9] = [
     "fleet",
     "blame",
     "policylab",
+    "netstorm",
 ];
 
 #[test]
@@ -106,5 +107,5 @@ fn report_starts_with_seed_header() {
     let report = full_report(7, 2);
     assert!(report.starts_with("# Acme reproduction — seed 7\n\n"));
     // Every experiment contributes a `### id — title` section.
-    assert_eq!(report.matches("\n### ").count(), 41);
+    assert_eq!(report.matches("\n### ").count(), 42);
 }

@@ -56,9 +56,18 @@ const GOLDEN_SEED42_PRE_BLAME_DIGEST: u64 = 0x21de_a4b6_0c94_8e4a;
 /// objects reproduce the previously hardwired arms exactly.
 const GOLDEN_SEED42_PRE_POLICYLAB_DIGEST: u64 = 0x7968_2b78_ff97_8646;
 
-/// Digest of the full `render_report(42, repro all)`, `policylab`
+/// Digest of `render_report(42, <pre-netstorm registry>)` — the exact
+/// bytes `repro all --seed 42` produced when `policylab` was the last
+/// experiment, before `netstorm` was appended. Pins down that routing the
+/// collective, checkpoint and probe prices through the fat-tree substrate
+/// moved no byte of any earlier experiment: on a healthy tree the derived
+/// bottleneck is the same float as the analytic constant, and the network
+/// fault stream only exists when a storm opts in.
+const GOLDEN_SEED42_PRE_NETSTORM_DIGEST: u64 = 0xae7c_4615_e9a3_39ad;
+
+/// Digest of the full `render_report(42, repro all)`, `netstorm`
 /// included.
-const GOLDEN_SEED42_FULL_DIGEST: u64 = 0xae7c_4615_e9a3_39ad;
+const GOLDEN_SEED42_FULL_DIGEST: u64 = 0xf76f_7703_f72b_6770;
 
 #[test]
 fn repro_all_seed42_pre_storm_prefix_matches_historical_digest() {
@@ -71,6 +80,7 @@ fn repro_all_seed42_pre_storm_prefix_matches_historical_digest() {
                 && e.id != "fleet"
                 && e.id != "blame"
                 && e.id != "policylab"
+                && e.id != "netstorm"
         })
         .collect();
     let runs =
@@ -91,7 +101,11 @@ fn repro_all_seed42_pre_evalstorm_prefix_matches_historical_digest() {
     let pre_evalstorm: Vec<_> = selection
         .into_iter()
         .filter(|e| {
-            e.id != "evalstorm" && e.id != "fleet" && e.id != "blame" && e.id != "policylab"
+            e.id != "evalstorm"
+                && e.id != "fleet"
+                && e.id != "blame"
+                && e.id != "policylab"
+                && e.id != "netstorm"
         })
         .collect();
     let runs =
@@ -112,7 +126,7 @@ fn repro_all_seed42_pre_fleet_prefix_matches_historical_digest() {
     let selection = acme::experiments::select(&["all".to_string()]).unwrap();
     let pre_fleet: Vec<_> = selection
         .into_iter()
-        .filter(|e| e.id != "fleet" && e.id != "blame" && e.id != "policylab")
+        .filter(|e| e.id != "fleet" && e.id != "blame" && e.id != "policylab" && e.id != "netstorm")
         .collect();
     let runs =
         acme::experiments::run_selection(&pre_fleet, acme::experiments::RunParams::new(42), 4);
@@ -132,7 +146,7 @@ fn repro_all_seed42_pre_blame_prefix_matches_historical_digest() {
     let selection = acme::experiments::select(&["all".to_string()]).unwrap();
     let pre_blame: Vec<_> = selection
         .into_iter()
-        .filter(|e| e.id != "blame" && e.id != "policylab")
+        .filter(|e| e.id != "blame" && e.id != "policylab" && e.id != "netstorm")
         .collect();
     let runs =
         acme::experiments::run_selection(&pre_blame, acme::experiments::RunParams::new(42), 4);
@@ -152,7 +166,7 @@ fn repro_all_seed42_pre_policylab_prefix_matches_historical_digest() {
     let selection = acme::experiments::select(&["all".to_string()]).unwrap();
     let pre_policylab: Vec<_> = selection
         .into_iter()
-        .filter(|e| e.id != "policylab")
+        .filter(|e| e.id != "policylab" && e.id != "netstorm")
         .collect();
     let runs =
         acme::experiments::run_selection(&pre_policylab, acme::experiments::RunParams::new(42), 4);
@@ -164,6 +178,26 @@ fn repro_all_seed42_pre_policylab_prefix_matches_historical_digest() {
          {GOLDEN_SEED42_PRE_POLICYLAB_DIGEST:#018x}. The policy-object extraction (or another \
          change) perturbed a pre-existing experiment. If the change is intentional, update \
          GOLDEN_SEED42_PRE_POLICYLAB_DIGEST."
+    );
+}
+
+#[test]
+fn repro_all_seed42_pre_netstorm_prefix_matches_historical_digest() {
+    let selection = acme::experiments::select(&["all".to_string()]).unwrap();
+    let pre_netstorm: Vec<_> = selection
+        .into_iter()
+        .filter(|e| e.id != "netstorm")
+        .collect();
+    let runs =
+        acme::experiments::run_selection(&pre_netstorm, acme::experiments::RunParams::new(42), 4);
+    let report = acme_bench::render_report(42, &runs);
+    let digest = fnv1a_64(report.as_bytes());
+    assert_eq!(
+        digest, GOLDEN_SEED42_PRE_NETSTORM_DIGEST,
+        "seed-42 pre-netstorm report drifted: digest {digest:#018x}, expected \
+         {GOLDEN_SEED42_PRE_NETSTORM_DIGEST:#018x}. The network substrate (or another change) \
+         perturbed a pre-existing experiment. If the change is intentional, update \
+         GOLDEN_SEED42_PRE_NETSTORM_DIGEST."
     );
 }
 

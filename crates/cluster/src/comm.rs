@@ -87,6 +87,25 @@ impl FabricSpec {
     /// # Panics
     /// Panics unless `gpus >= 2`.
     pub fn collective_secs(&self, collective: Collective, bytes_per_gpu: f64, gpus: u32) -> f64 {
+        let bw = self.bottleneck_gbps(gpus, collective);
+        self.collective_secs_at(collective, bytes_per_gpu, gpus, bw)
+    }
+
+    /// [`collective_secs`](Self::collective_secs) at an explicit per-GPU
+    /// bottleneck bandwidth (GB/s). The topology-aware fabric
+    /// (`cluster::net`) derives its bottleneck from link shares and prices
+    /// through this, so analytic and routed prices share one arithmetic
+    /// path — on a healthy non-blocking tree they are byte-identical.
+    ///
+    /// # Panics
+    /// Panics unless `gpus >= 2`.
+    pub fn collective_secs_at(
+        &self,
+        collective: Collective,
+        bytes_per_gpu: f64,
+        gpus: u32,
+        bottleneck_gbps: f64,
+    ) -> f64 {
         assert!(gpus >= 2, "a collective needs at least two ranks");
         let n = gpus as f64;
         let traffic_factor = match collective {
@@ -96,7 +115,7 @@ impl FabricSpec {
             }
             Collective::Broadcast => 1.0,
         };
-        let bw = self.bottleneck_gbps(gpus, collective) * 1e9;
+        let bw = bottleneck_gbps * 1e9;
         let latency = if gpus <= self.gpus_per_node {
             self.latency_intra_us
         } else {

@@ -16,6 +16,7 @@
 
 pub mod comm;
 pub mod gpu;
+pub mod net;
 pub mod node;
 pub mod power;
 pub mod spares;
@@ -25,6 +26,7 @@ pub mod thermal;
 
 pub use comm::{Collective, FabricSpec};
 pub use gpu::{GpuActivity, GpuDevice};
+pub use net::{FatTree, Flow, FlowSim, NetConfig, NetError, NetFabric};
 pub use node::{HostMemoryBreakdown, Node};
 pub use power::{ServerPowerBreakdown, ServerPowerModel};
 pub use spares::SparePool;

@@ -1,0 +1,102 @@
+//! Flow-level network counters.
+//!
+//! Mirrors `acme_sim_core::stats`: every [`FlowSim`](super::FlowSim) run
+//! deposits how many flows it routed and the time-averaged utilization of
+//! its busiest link into a thread-local accumulator. The experiment
+//! harness drains the accumulator per experiment (and per shard,
+//! forwarding worker-thread totals to the calling thread) so
+//! `--timings-json` can report `flows_routed` and `max_link_utilization`
+//! without plumbing through simulation code.
+
+use std::cell::Cell;
+
+/// Flow-scheduler totals from one or more [`FlowSim`](super::FlowSim)
+/// runs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NetStats {
+    /// Flows routed through a fat tree.
+    pub flows_routed: u64,
+    /// Peak time-averaged utilization (0..=1) of the busiest link across
+    /// runs.
+    pub max_link_utilization: f64,
+}
+
+impl NetStats {
+    /// All-zero counters.
+    pub const ZERO: NetStats = NetStats {
+        flows_routed: 0,
+        max_link_utilization: 0.0,
+    };
+
+    /// Combine two totals: flow counts add, utilizations take the maximum
+    /// (the runs happened at different times or in different shards;
+    /// summing utilizations would overstate the peak).
+    pub fn merge(self, other: NetStats) -> NetStats {
+        NetStats {
+            flows_routed: self.flows_routed + other.flows_routed,
+            max_link_utilization: self.max_link_utilization.max(other.max_link_utilization),
+        }
+    }
+}
+
+thread_local! {
+    static FLOWS: Cell<u64> = const { Cell::new(0) };
+    static UTILIZATION: Cell<f64> = const { Cell::new(0.0) };
+}
+
+/// Deposit one scheduler run's totals. Called by
+/// [`FlowSim::run`](super::FlowSim::run); harness code normally only
+/// needs [`take`].
+pub fn record(flows: u64, utilization: f64) {
+    absorb(NetStats {
+        flows_routed: flows,
+        max_link_utilization: utilization,
+    });
+}
+
+/// Fold `stats` into the calling thread's accumulator (used by the shard
+/// pool to forward worker totals in shard order).
+pub fn absorb(stats: NetStats) {
+    FLOWS.with(|c| c.set(c.get() + stats.flows_routed));
+    UTILIZATION.with(|c| c.set(c.get().max(stats.max_link_utilization)));
+}
+
+/// Drain the calling thread's accumulated totals, resetting them to zero.
+pub fn take() -> NetStats {
+    NetStats {
+        flows_routed: FLOWS.with(|c| c.replace(0)),
+        max_link_utilization: UTILIZATION.with(|c| c.replace(0.0)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_flows_and_maxes_utilization() {
+        let a = NetStats {
+            flows_routed: 4,
+            max_link_utilization: 0.6,
+        };
+        let b = NetStats {
+            flows_routed: 3,
+            max_link_utilization: 0.9,
+        };
+        let m = a.merge(b);
+        assert_eq!(m.flows_routed, 7);
+        assert_eq!(m.max_link_utilization, 0.9);
+        assert_eq!(NetStats::ZERO.merge(a), a);
+    }
+
+    #[test]
+    fn absorb_take_roundtrip() {
+        take(); // isolate from runs earlier on this thread
+        record(5, 0.4);
+        record(2, 0.8);
+        let got = take();
+        assert_eq!(got.flows_routed, 7);
+        assert_eq!(got.max_link_utilization, 0.8);
+        assert_eq!(take(), NetStats::ZERO, "take drains");
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the fat-tree network substrate.
+
+use acme_cluster::comm::{Collective, FabricSpec};
+use acme_cluster::net::{max_min_rates, Flow, FlowSim, NetConfig, NetFabric};
+use acme_sim_core::{SimRng, SimTime};
+use proptest::prelude::*;
+
+/// A deterministic random flow set over a k=8 tree: `n` flows with
+/// seed-derived endpoints, sizes, tags and staggered starts.
+fn random_flows(seed: u64, n: usize, hosts: u32) -> Vec<Flow> {
+    let mut rng = SimRng::new(seed).fork(90);
+    (0..n)
+        .map(|_| {
+            let src = rng.below(u64::from(hosts)) as u32;
+            let mut dst = rng.below(u64::from(hosts)) as u32;
+            if dst == src {
+                dst = (dst + 1) % hosts;
+            }
+            Flow {
+                src,
+                dst,
+                gb: 0.5 + rng.f64() * 50.0,
+                start: SimTime::from_secs_f64(rng.f64() * 10.0),
+                tag: rng.below(1 << 32),
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    /// Same seed ⇒ identical flow schedules: the scheduler is a pure
+    /// function of the flow set and the fabric, so replaying the same
+    /// seed-derived flows yields byte-identical completion times.
+    #[test]
+    fn same_seed_same_flow_schedule(seed in 0u64..1000, n in 1usize..24) {
+        let spec = FabricSpec::kalos();
+        let fabric = NetFabric::new(spec, NetConfig::for_fabric(&spec, 8));
+        let flows = random_flows(seed, n, fabric.tree().hosts());
+        let again = random_flows(seed, n, fabric.tree().hosts());
+        prop_assert_eq!(&flows, &again);
+        let a = FlowSim::new(&fabric).run(&flows);
+        let b = FlowSim::new(&fabric).run(&flows);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.finish, y.finish);
+        }
+    }
+
+    /// Max-min allocations conserve capacity on every link and are
+    /// work-conserving: each flow with a positive rate crosses at least
+    /// one saturated (bottleneck) link, and only flows over dead links
+    /// stall at rate 0.
+    #[test]
+    fn max_min_conserves_and_saturates(seed in 0u64..1000, n in 1usize..32) {
+        let spec = FabricSpec::kalos();
+        let mut fabric = NetFabric::new(spec, NetConfig::for_fabric(&spec, 8));
+        // Exercise degraded trees too: kill one uplink half the time.
+        if seed % 2 == 1 {
+            fabric.fail_edge_uplink((seed % 32) as u32, (seed % 4) as u32);
+        }
+        let tree = fabric.tree().clone();
+        let flows = random_flows(seed, n, tree.hosts());
+        let paths: Vec<Vec<u32>> = flows.iter().map(|f| tree.route(f.src, f.dst, f.tag)).collect();
+        let capacity = fabric.capacities();
+        let rates = max_min_rates(&paths, &capacity);
+
+        // Conservation: per-link carried rate never exceeds capacity.
+        let mut carried = vec![0.0f64; capacity.len()];
+        for (p, r) in paths.iter().zip(&rates) {
+            for &l in p {
+                carried[l as usize] += r;
+            }
+        }
+        for (l, &c) in carried.iter().enumerate() {
+            prop_assert!(c <= capacity[l] + 1e-6, "link {l} carries {c} over {}", capacity[l]);
+        }
+
+        // Work conservation: every running flow is pinned by a saturated
+        // link on its own path; every stalled flow crosses a dead link.
+        for (i, (p, &r)) in paths.iter().zip(&rates).enumerate() {
+            if r > 0.0 {
+                let bottlenecked = p.iter().any(|&l| {
+                    carried[l as usize] >= capacity[l as usize] - 1e-6
+                });
+                prop_assert!(bottlenecked, "flow {i} runs at {r} with no saturated link");
+            } else {
+                prop_assert!(
+                    p.iter().any(|&l| capacity[l as usize] <= 0.0),
+                    "flow {i} stalled without a dead link"
+                );
+            }
+        }
+    }
+
+    /// On a healthy non-blocking tree the topology-derived collective
+    /// price is the *same float* as the analytic `comm` price, over random
+    /// collective mixes, sizes and placements.
+    #[test]
+    fn healthy_tree_prices_equal_analytic(
+        which in 0usize..5,
+        bytes in 1.0f64..1e10,
+        nodes in 2u32..64,
+        offset in 0u32..64,
+    ) {
+        let collective = [
+            Collective::AllReduce,
+            Collective::AllGather,
+            Collective::ReduceScatter,
+            Collective::AllToAll,
+            Collective::Broadcast,
+        ][which];
+        let spec = FabricSpec::kalos();
+        let fabric = NetFabric::new(spec, NetConfig::for_fabric(&spec, 8));
+        let total = fabric.tree().hosts();
+        let hosts: Vec<u32> = (0..nodes).map(|i| (offset + i) % total).collect();
+        let gpus = nodes * spec.gpus_per_node;
+        let via_tree = fabric.collective_secs(collective, bytes, gpus, &hosts);
+        let analytic = spec.collective_secs(collective, bytes, gpus);
+        prop_assert_eq!(
+            via_tree.to_bits(),
+            analytic.to_bits(),
+            "tree {} vs analytic {}",
+            via_tree,
+            analytic
+        );
+    }
+}

@@ -12,6 +12,7 @@ mod extensions;
 mod failures;
 mod fleet;
 mod infra;
+mod netstorm;
 mod policylab;
 pub mod queueing;
 pub mod runner;
@@ -20,6 +21,7 @@ mod storm;
 mod training;
 mod workload;
 
+pub use netstorm::validate_inputs as validate_netstorm;
 pub use policylab::validate_inputs as validate_policylab;
 pub use runner::{default_jobs, run_selection, ExperimentRun};
 pub use shard::{set_workers, ShardTiming};
@@ -353,6 +355,14 @@ pub fn all() -> Vec<Experiment> {
                    human actions and wasted GPU-time.",
             run: policylab::policylab,
         },
+        Experiment {
+            id: "netstorm",
+            title: "§5/§6 robustness: topology-aware network-fault ablation",
+            desc: "Replays the fault storm plus link flaps, switch deaths and \
+                   congestion windows on a k=8 fat tree; ablates naive vs \
+                   topology-blind vs topology-aware recovery.",
+            run: netstorm::netstorm,
+        },
     ]
 }
 
@@ -436,13 +446,14 @@ mod tests {
             "fleet",
             "blame",
             "policylab",
+            "netstorm",
         ] {
             assert!(ids.contains(&expected), "missing {expected}");
         }
-        assert_eq!(ids.len(), 41);
+        assert_eq!(ids.len(), 42);
         assert_eq!(
             ids.last(),
-            Some(&"policylab"),
+            Some(&"netstorm"),
             "new experiments append at the end so the historical registry is a stable prefix"
         );
         // Every entry carries a --list description.
@@ -489,6 +500,7 @@ mod tests {
             "evalstorm",
             "blame",
             "policylab",
+            "netstorm",
         ] {
             let base = run(id, RunParams::new(3)).unwrap();
             let scaled = run(id, RunParams::with_scale(3, 2)).unwrap();

@@ -49,6 +49,10 @@ pub struct ExperimentRun {
     /// Event-queue activity (schedules/pops/resizes/peak depth) summed
     /// over every queue the experiment dropped, for `--timings-json`.
     pub queue: acme_sim_core::stats::QueueStats,
+    /// Network-substrate activity (flows routed through the fat tree,
+    /// peak link utilization) for `--timings-json`; zero for experiments
+    /// that never touch `acme_cluster::net`.
+    pub net: acme_cluster::net::stats::NetStats,
 }
 
 /// How many workers to use when the caller does not say: one per available
@@ -79,12 +83,14 @@ fn run_one(e: &Experiment, params: RunParams) -> ExperimentRun {
     shard::take_timings();
     acme_obs::take_chunks();
     acme_sim_core::stats::take();
+    acme_cluster::net::stats::take();
     let started = Instant::now();
     let body = catch_unwind(AssertUnwindSafe(|| (e.run)(params)));
     let wall = started.elapsed();
     let shards = shard::take_timings();
     let trace = acme_obs::take_chunks();
     let queue = acme_sim_core::stats::take();
+    let net = acme_cluster::net::stats::take();
     match body {
         Ok(body) => ExperimentRun {
             id: e.id,
@@ -95,6 +101,7 @@ fn run_one(e: &Experiment, params: RunParams) -> ExperimentRun {
             shards,
             trace,
             queue,
+            net,
         },
         Err(payload) => ExperimentRun {
             id: e.id,
@@ -109,6 +116,7 @@ fn run_one(e: &Experiment, params: RunParams) -> ExperimentRun {
             shards,
             trace,
             queue,
+            net,
         },
     }
 }
@@ -167,6 +175,7 @@ pub fn run_selection(
                     shards: Vec::new(),
                     trace: Vec::new(),
                     queue: acme_sim_core::stats::QueueStats::ZERO,
+                    net: acme_cluster::net::stats::NetStats::ZERO,
                 })
         })
         .collect()

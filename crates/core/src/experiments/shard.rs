@@ -113,6 +113,7 @@ pub fn run_shards<'a, T: Send>(shards: Vec<(String, ShardFn<'a, T>)>) -> Vec<T> 
         Duration,
         Vec<acme_obs::TraceChunk>,
         acme_sim_core::stats::QueueStats,
+        acme_cluster::net::stats::NetStats,
     );
     // One pre-allocated slot per shard; each is written by exactly one
     // worker, so the mutexes are contention-free.
@@ -136,7 +137,9 @@ pub fn run_shards<'a, T: Send>(shards: Vec<(String, ShardFn<'a, T>)>) -> Vec<T> 
                 // runs on this worker, so attribution stays per-shard.
                 let chunks = acme_obs::take_chunks();
                 let queue = acme_sim_core::stats::take();
-                *slots[i].lock().expect("shard slot poisoned") = Some((out, wall, chunks, queue));
+                let net = acme_cluster::net::stats::take();
+                *slots[i].lock().expect("shard slot poisoned") =
+                    Some((out, wall, chunks, queue, net));
             });
         }
     });
@@ -145,7 +148,7 @@ pub fn run_shards<'a, T: Send>(shards: Vec<(String, ShardFn<'a, T>)>) -> Vec<T> 
         .into_iter()
         .zip(labels)
         .map(|(slot, label)| {
-            let (out, wall, chunks, queue) = slot
+            let (out, wall, chunks, queue, net) = slot
                 .into_inner()
                 .expect("shard slot poisoned")
                 .expect("worker exited without a result");
@@ -154,6 +157,7 @@ pub fn run_shards<'a, T: Send>(shards: Vec<(String, ShardFn<'a, T>)>) -> Vec<T> 
                 acme_obs::deposit(chunk);
             }
             acme_sim_core::stats::absorb(queue);
+            acme_cluster::net::stats::absorb(net);
             out
         })
         .collect()

@@ -29,10 +29,12 @@
 pub mod datacenter;
 pub mod experiments;
 pub mod monitor;
+pub mod netstorm;
 pub mod pipeline;
 pub mod storm;
 
 pub use datacenter::{Acme, AcmeTrace};
 pub use monitor::ClusterMonitor;
+pub use netstorm::{NetStormOutcome, NetStormRunner};
 pub use pipeline::{DevelopmentPipeline, FaultTolerantTrainer};
 pub use storm::{StormOutcome, StormPolicy, StormRunner};

@@ -206,12 +206,14 @@ impl StormOutcome {
     }
 }
 
-/// Fixed wall-time costs of the recovery machinery.
-const DIAGNOSE: SimDuration = SimDuration::from_mins(2);
-const NCCL_LOCALIZE: SimDuration = SimDuration::from_mins(5);
-const RESTART: SimDuration = SimDuration::from_mins(10);
-const FLAP_REFAIL: SimDuration = SimDuration::from_mins(5);
-const BUG_REFAIL: SimDuration = SimDuration::from_mins(2);
+/// Fixed wall-time costs of the recovery machinery (shared with the
+/// topology-aware netstorm runner so both storms price the same
+/// machinery identically).
+pub(crate) const DIAGNOSE: SimDuration = SimDuration::from_mins(2);
+pub(crate) const NCCL_LOCALIZE: SimDuration = SimDuration::from_mins(5);
+pub(crate) const RESTART: SimDuration = SimDuration::from_mins(10);
+pub(crate) const FLAP_REFAIL: SimDuration = SimDuration::from_mins(5);
+pub(crate) const BUG_REFAIL: SimDuration = SimDuration::from_mins(2);
 
 /// Live fleet capacity: spare pool, uncovered losses, and the repair
 /// queue that eventually returns cordoned nodes to service. Repair
@@ -729,8 +731,9 @@ impl StormRunner {
 }
 
 /// Human reaction time: short in the day, until-morning at night (§5.3) —
-/// the same clock the friendly-world campaign uses.
-fn manual_delay(at: SimTime, rng: &mut SimRng) -> SimDuration {
+/// the same clock the friendly-world campaign uses (and the netstorm
+/// runner, so network pages cost what node pages cost).
+pub(crate) fn manual_delay(at: SimTime, rng: &mut SimRng) -> SimDuration {
     let hour = (at.as_secs() / 3600) % 24;
     if (8..23).contains(&hour) {
         SimDuration::from_mins(rng.range_u64(15, 45))

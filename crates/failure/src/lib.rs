@@ -49,6 +49,9 @@ pub use orchestrator::{
     IncidentKey, OrchestratedDecision, OrchestratorConfig, RecoveryOrchestrator, RetryPolicy,
 };
 pub use recovery::{RecoveryAction, RecoveryManager};
-pub use storm::{SecondaryEvent, StormCampaign, StormConfig, StormEngine, StormEvent};
+pub use storm::{
+    NetFault, NetStormConfig, NetStormEvent, SecondaryEvent, StormCampaign, StormConfig,
+    StormEngine, StormEvent,
+};
 pub use taxonomy::{FailureCategory, FailureReason, FailureSpec};
 pub use watchdog::{Watchdog, WatchdogState};

@@ -115,6 +115,7 @@ pub struct RecoveryOrchestrator {
     manager: RecoveryManager,
     strikes: BTreeMap<u32, u32>,
     cordoned: BTreeSet<u32>,
+    cordon_actions: u32,
     last_seen: BTreeMap<IncidentKey, (SimTime, u32)>,
 }
 
@@ -126,6 +127,7 @@ impl RecoveryOrchestrator {
             manager: RecoveryManager,
             strikes: BTreeMap::new(),
             cordoned: BTreeSet::new(),
+            cordon_actions: 0,
             last_seen: BTreeMap::new(),
         }
     }
@@ -206,9 +208,24 @@ impl RecoveryOrchestrator {
         !self.cordoned.contains(&node) && self.config.cordon.should_cordon(self.strikes(node))
     }
 
-    /// Mark a node cordoned.
+    /// Mark a node cordoned. One human action per newly cordoned node
+    /// (re-cordoning an already cordoned node costs nothing).
     pub fn mark_cordoned(&mut self, node: u32) {
-        self.cordoned.insert(node);
+        if self.cordoned.insert(node) {
+            self.cordon_actions += 1;
+        }
+    }
+
+    /// Cordon an entire fault domain (the nodes under one dead switch) as
+    /// ONE human action: the operator drains the switch, not each node.
+    /// Returns how many nodes were newly cordoned; zero new nodes costs
+    /// zero actions.
+    pub fn mark_domain_cordoned(&mut self, nodes: &[u32]) -> u32 {
+        let newly = nodes.iter().filter(|&&n| self.cordoned.insert(n)).count() as u32;
+        if newly > 0 {
+            self.cordon_actions += 1;
+        }
+        newly
     }
 
     /// Whether a node is cordoned.
@@ -219,6 +236,13 @@ impl RecoveryOrchestrator {
     /// Nodes cordoned so far.
     pub fn cordoned_count(&self) -> u32 {
         self.cordoned.len() as u32
+    }
+
+    /// Human cordon actions so far. Node-level cordons cost one action
+    /// each; a switch-level (domain) cordon costs one action regardless
+    /// of how many nodes it drains.
+    pub fn cordon_actions(&self) -> u32 {
+        self.cordon_actions
     }
 }
 
@@ -336,8 +360,29 @@ mod tests {
         assert!(orch.is_cordoned(7));
         assert!(!orch.should_cordon(7), "already cordoned");
         assert_eq!(orch.cordoned_count(), 1);
+        assert_eq!(orch.cordon_actions(), 1);
         // Other nodes unaffected.
         assert_eq!(orch.strikes(8), 0);
+    }
+
+    #[test]
+    fn domain_cordon_is_one_human_action() {
+        let mut orch = RecoveryOrchestrator::new(OrchestratorConfig::production());
+        // Draining a whole switch domain: one action, many nodes.
+        assert_eq!(orch.mark_domain_cordoned(&[4, 5, 6, 7]), 4);
+        assert_eq!(orch.cordoned_count(), 4);
+        assert_eq!(orch.cordon_actions(), 1);
+        // Re-cordoning the same domain is free.
+        assert_eq!(orch.mark_domain_cordoned(&[4, 5, 6, 7]), 0);
+        assert_eq!(orch.cordon_actions(), 1);
+        // A partially overlapping domain costs one more action.
+        assert_eq!(orch.mark_domain_cordoned(&[7, 8]), 1);
+        assert_eq!(orch.cordoned_count(), 5);
+        assert_eq!(orch.cordon_actions(), 2);
+        // Node-level cordons still cost one action per new node.
+        orch.mark_cordoned(9);
+        orch.mark_cordoned(9);
+        assert_eq!(orch.cordon_actions(), 3);
     }
 
     #[test]

@@ -74,6 +74,152 @@ pub struct StormEvent {
     pub hang_in_recovery: bool,
 }
 
+/// One fault on the network substrate, aimed at fat-tree coordinates
+/// rather than a node id. The topology radix the coordinates index into
+/// is [`NetStormConfig::radix`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// One edge→aggregation uplink flaps (down for the event duration,
+    /// then restored). ECMP siblings keep the hosts reachable.
+    LinkFlap {
+        /// Global edge-switch index.
+        edge: u32,
+        /// Uplink port (aggregation index within the pod).
+        port: u32,
+    },
+    /// An edge (ToR) switch dies: every host under it is stranded — the
+    /// whole fault domain is down until the switch is replaced.
+    EdgeSwitchFail {
+        /// Global edge-switch index.
+        edge: u32,
+    },
+    /// An aggregation switch dies: the pod loses one of its `k/2` uplink
+    /// planes; traffic reroutes, degraded.
+    AggSwitchFail {
+        /// Pod index.
+        pod: u32,
+        /// Aggregation index within the pod.
+        agg: u32,
+    },
+    /// An oversubscription window: the pod's edge↔agg tier runs at
+    /// `100/factor_pct` of line rate — jobs straggle instead of crashing.
+    Congestion {
+        /// Pod index.
+        pod: u32,
+        /// Slowdown factor in percent (400 = links at quarter rate).
+        factor_pct: u32,
+    },
+}
+
+/// One network incident inside a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetStormEvent {
+    /// When the fault strikes.
+    pub at: SimTime,
+    /// What breaks.
+    pub fault: NetFault,
+    /// How long it lasts (flap length, switch replacement lead time, or
+    /// congestion-window width), clamped inside the horizon.
+    pub duration: SimDuration,
+}
+
+/// Knobs of the network fault surface, [`None`] by default so legacy
+/// campaigns (and every historical golden digest) are byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetStormConfig {
+    /// Fat-tree radix the fault coordinates index into (power of two
+    /// ≥ 4; the topology layer validates the shape structurally).
+    pub radix: u32,
+    /// Mean spacing between link flaps (Poisson arrivals).
+    pub mean_between_flaps: SimDuration,
+    /// Shortest flap, seconds.
+    pub flap_secs_lo: u64,
+    /// Longest flap, seconds.
+    pub flap_secs_hi: u64,
+    /// Mean spacing between switch failures (edge or aggregation, 50/50).
+    pub mean_between_switch_faults: SimDuration,
+    /// Replacement lead time for a dead switch.
+    pub switch_repair: SimDuration,
+    /// Mean spacing between oversubscription windows.
+    pub mean_between_congestion: SimDuration,
+    /// Width of one oversubscription window.
+    pub congestion_duration: SimDuration,
+    /// Congestion slowdown factor, percent (400 = links at 1/4 rate).
+    pub congestion_factor_pct: u32,
+}
+
+impl NetStormConfig {
+    /// The default network storm riding along the default fault storm: a
+    /// k=8 tree (128 hosts), a link flap every ~12 h, a switch death
+    /// every ~3.5 days (24 h replacement), and an oversubscription window
+    /// every ~36 h that runs the pod at quarter rate for two hours.
+    pub fn default_net() -> Self {
+        NetStormConfig {
+            radix: 8,
+            mean_between_flaps: SimDuration::from_hours(12),
+            flap_secs_lo: 60,
+            flap_secs_hi: 600,
+            mean_between_switch_faults: SimDuration::from_hours(84),
+            switch_repair: SimDuration::from_hours(24),
+            mean_between_congestion: SimDuration::from_hours(36),
+            congestion_duration: SimDuration::from_hours(2),
+            congestion_factor_pct: 400,
+        }
+    }
+
+    /// Structured validation, following [`StormConfig::validate`]. The
+    /// tree *shape* (power-of-two radix, link capacities) is validated
+    /// separately by the topology layer's `NetConfig::validate`.
+    pub fn validate(&self) -> Result<(), PolicyError> {
+        if self.radix == 0 {
+            return Err(PolicyError::Empty {
+                field: "net topology",
+            });
+        }
+        if self.mean_between_flaps.is_zero() {
+            return Err(PolicyError::NonPositive { field: "flap MTBF" });
+        }
+        if self.flap_secs_lo == 0 {
+            return Err(PolicyError::NonPositive {
+                field: "flap duration",
+            });
+        }
+        if self.flap_secs_lo > self.flap_secs_hi {
+            return Err(PolicyError::Inverted {
+                field: "flap duration",
+                lo: self.flap_secs_lo as f64,
+                hi: self.flap_secs_hi as f64,
+            });
+        }
+        if self.mean_between_switch_faults.is_zero() {
+            return Err(PolicyError::NonPositive {
+                field: "switch-fault MTBF",
+            });
+        }
+        if self.switch_repair.is_zero() {
+            return Err(PolicyError::NonPositive {
+                field: "switch repair time",
+            });
+        }
+        if self.mean_between_congestion.is_zero() {
+            return Err(PolicyError::NonPositive {
+                field: "congestion MTBF",
+            });
+        }
+        if self.congestion_duration.is_zero() {
+            return Err(PolicyError::NonPositive {
+                field: "congestion window",
+            });
+        }
+        if self.congestion_factor_pct <= 100 {
+            return Err(PolicyError::NonPositive {
+                field: "congestion slowdown (factor - 100%)",
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Knobs of the storm generator.
 #[derive(Debug, Clone, Copy)]
 pub struct StormConfig {
@@ -92,6 +238,10 @@ pub struct StormConfig {
     pub corrupt_prob: f64,
     /// Probability the first recovery attempt hangs.
     pub hang_prob: f64,
+    /// Network fault surface. `None` (the default) generates no network
+    /// events and draws nothing extra from the rng, so legacy campaigns
+    /// are byte-identical.
+    pub net: Option<NetStormConfig>,
 }
 
 impl StormConfig {
@@ -107,6 +257,7 @@ impl StormConfig {
             flap_prob: 0.35,
             corrupt_prob: 0.15,
             hang_prob: 0.10,
+            net: None,
         }
     }
 
@@ -140,6 +291,9 @@ impl StormConfig {
         validate_probability("flap_prob", self.flap_prob)?;
         validate_probability("corrupt_prob", self.corrupt_prob)?;
         validate_probability("hang_prob", self.hang_prob)?;
+        if let Some(net) = &self.net {
+            net.validate()?;
+        }
         Ok(())
     }
 }
@@ -153,6 +307,9 @@ pub struct StormCampaign {
     pub fleet_nodes: u32,
     /// The primaries, sorted by `at`.
     pub events: Vec<StormEvent>,
+    /// Network faults, sorted by `at`. Empty unless the config carries a
+    /// [`NetStormConfig`].
+    pub net_events: Vec<NetStormEvent>,
 }
 
 impl StormCampaign {
@@ -174,6 +331,35 @@ impl StormCampaign {
     /// Number of incidents whose first recovery attempt hangs.
     pub fn hang_count(&self) -> usize {
         self.events.iter().filter(|e| e.hang_in_recovery).count()
+    }
+
+    /// Number of link flaps on the network substrate.
+    pub fn link_flap_count(&self) -> usize {
+        self.net_events
+            .iter()
+            .filter(|e| matches!(e.fault, NetFault::LinkFlap { .. }))
+            .count()
+    }
+
+    /// Number of switch deaths (edge or aggregation).
+    pub fn switch_fault_count(&self) -> usize {
+        self.net_events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.fault,
+                    NetFault::EdgeSwitchFail { .. } | NetFault::AggSwitchFail { .. }
+                )
+            })
+            .count()
+    }
+
+    /// Number of oversubscription windows.
+    pub fn congestion_count(&self) -> usize {
+        self.net_events
+            .iter()
+            .filter(|e| matches!(e.fault, NetFault::Congestion { .. }))
+            .count()
     }
 }
 
@@ -282,11 +468,100 @@ impl StormEngine {
             });
             correlation += 1;
         }
+
+        // Network faults draw strictly AFTER the primary loop, and only
+        // when a net surface is configured — a legacy config consumes the
+        // exact historical draw sequence.
+        let net_events = match &c.net {
+            Some(net) => Self::generate_net(net, horizon_secs, rng),
+            None => Vec::new(),
+        };
+
         StormCampaign {
             horizon: c.horizon,
             fleet_nodes: c.fleet_nodes,
             events,
+            net_events,
         }
+    }
+
+    /// Render the network fault streams: Poisson link flaps, switch
+    /// deaths (edge vs aggregation, 50/50) and oversubscription windows,
+    /// merged and sorted by strike time. Durations are clamped inside the
+    /// horizon.
+    fn generate_net(
+        net: &NetStormConfig,
+        horizon_secs: f64,
+        rng: &mut SimRng,
+    ) -> Vec<NetStormEvent> {
+        let half = net.radix / 2;
+        let edges = u64::from(net.radix) * u64::from(half);
+        let pods = u64::from(net.radix);
+        let clamp = |t: f64, d: SimDuration| {
+            SimDuration::from_secs_f64(d.as_secs_f64().min((horizon_secs - t).max(0.0)))
+        };
+        let mut events = Vec::new();
+
+        let flaps = Exponential::with_mean(net.mean_between_flaps.as_secs_f64());
+        let mut t = 0.0;
+        loop {
+            t += flaps.sample(rng);
+            if t >= horizon_secs {
+                break;
+            }
+            let edge = rng.below(edges) as u32;
+            let port = rng.below(u64::from(half)) as u32;
+            let secs = rng.range_u64(net.flap_secs_lo, net.flap_secs_hi + 1);
+            events.push(NetStormEvent {
+                at: SimTime::from_secs_f64(t),
+                fault: NetFault::LinkFlap { edge, port },
+                duration: clamp(t, SimDuration::from_secs(secs)),
+            });
+        }
+
+        let switches = Exponential::with_mean(net.mean_between_switch_faults.as_secs_f64());
+        let mut t = 0.0;
+        loop {
+            t += switches.sample(rng);
+            if t >= horizon_secs {
+                break;
+            }
+            let fault = if rng.chance(0.5) {
+                NetFault::EdgeSwitchFail {
+                    edge: rng.below(edges) as u32,
+                }
+            } else {
+                NetFault::AggSwitchFail {
+                    pod: rng.below(pods) as u32,
+                    agg: rng.below(u64::from(half)) as u32,
+                }
+            };
+            events.push(NetStormEvent {
+                at: SimTime::from_secs_f64(t),
+                fault,
+                duration: clamp(t, net.switch_repair),
+            });
+        }
+
+        let congestion = Exponential::with_mean(net.mean_between_congestion.as_secs_f64());
+        let mut t = 0.0;
+        loop {
+            t += congestion.sample(rng);
+            if t >= horizon_secs {
+                break;
+            }
+            events.push(NetStormEvent {
+                at: SimTime::from_secs_f64(t),
+                fault: NetFault::Congestion {
+                    pod: rng.below(pods) as u32,
+                    factor_pct: net.congestion_factor_pct,
+                },
+                duration: clamp(t, net.congestion_duration),
+            });
+        }
+
+        events.sort_by_key(|e| e.at);
+        events
     }
 }
 
@@ -369,6 +644,115 @@ mod tests {
         let mut rng = SimRng::new(5);
         let long = StormEngine::new(c).generate(&mut rng);
         assert!(long.events.len() > campaign(5).events.len() * 2);
+    }
+
+    fn net_campaign(seed: u64) -> StormCampaign {
+        let mut cfg = StormConfig::default_storm();
+        cfg.net = Some(NetStormConfig::default_net());
+        let mut rng = SimRng::new(seed);
+        StormEngine::new(cfg).generate(&mut rng)
+    }
+
+    #[test]
+    fn net_surface_is_off_by_default_and_byte_pinned() {
+        let legacy = campaign(42);
+        assert!(legacy.net_events.is_empty());
+        // Turning the net surface on draws only AFTER the primary loop:
+        // the primaries are byte-identical to the legacy campaign.
+        let net = net_campaign(42);
+        assert_eq!(net.events, legacy.events);
+        assert!(!net.net_events.is_empty());
+    }
+
+    #[test]
+    fn net_events_cover_every_fault_kind_and_stay_inside_horizon() {
+        let c = net_campaign(42);
+        assert!(c.link_flap_count() > 0, "no link flaps");
+        assert!(c.switch_fault_count() > 0, "no switch deaths");
+        assert!(c.congestion_count() > 0, "no congestion windows");
+        for w in c.net_events.windows(2) {
+            assert!(w[1].at >= w[0].at);
+        }
+        for e in &c.net_events {
+            assert!(e.at.saturating_since(SimTime::ZERO) < c.horizon);
+            assert!((e.at + e.duration).saturating_since(SimTime::ZERO) <= c.horizon);
+        }
+        assert_eq!(net_campaign(42), net_campaign(42), "deterministic");
+        assert_ne!(net_campaign(42).net_events, net_campaign(7).net_events);
+    }
+
+    #[test]
+    fn net_fault_coordinates_stay_on_the_tree() {
+        let net = NetStormConfig::default_net();
+        let (half, edges, pods) = (net.radix / 2, net.radix * net.radix / 2, net.radix);
+        for e in &net_campaign(3).net_events {
+            match e.fault {
+                NetFault::LinkFlap { edge, port } => {
+                    assert!(edge < edges && port < half);
+                    let secs = e.duration.as_secs_f64() as u64;
+                    assert!(secs >= net.flap_secs_lo.min(60) && secs <= net.flap_secs_hi);
+                }
+                NetFault::EdgeSwitchFail { edge } => assert!(edge < edges),
+                NetFault::AggSwitchFail { pod, agg } => assert!(pod < pods && agg < half),
+                NetFault::Congestion { pod, factor_pct } => {
+                    assert!(pod < pods);
+                    assert_eq!(factor_pct, net.congestion_factor_pct);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn net_config_validates_structurally() {
+        NetStormConfig::default_net().validate().unwrap();
+
+        let mut n = NetStormConfig::default_net();
+        n.radix = 0;
+        assert_eq!(
+            n.validate().unwrap_err().to_string(),
+            "net topology cannot be empty"
+        );
+
+        let mut n = NetStormConfig::default_net();
+        n.mean_between_flaps = SimDuration::ZERO;
+        assert_eq!(
+            n.validate().unwrap_err().to_string(),
+            "flap MTBF must be positive"
+        );
+
+        let mut n = NetStormConfig::default_net();
+        n.flap_secs_lo = 900;
+        assert!(matches!(
+            n.validate(),
+            Err(PolicyError::Inverted {
+                field: "flap duration",
+                ..
+            })
+        ));
+
+        let mut n = NetStormConfig::default_net();
+        n.switch_repair = SimDuration::ZERO;
+        assert_eq!(
+            n.validate().unwrap_err().to_string(),
+            "switch repair time must be positive"
+        );
+
+        let mut n = NetStormConfig::default_net();
+        n.congestion_factor_pct = 100;
+        assert_eq!(
+            n.validate().unwrap_err().to_string(),
+            "congestion slowdown (factor - 100%) must be positive"
+        );
+
+        // An invalid net surface fails the whole storm config.
+        let mut c = StormConfig::default_storm();
+        let mut n = NetStormConfig::default_net();
+        n.congestion_duration = SimDuration::ZERO;
+        c.net = Some(n);
+        assert_eq!(
+            c.validate().unwrap_err().to_string(),
+            "congestion window must be positive"
+        );
     }
 
     #[test]

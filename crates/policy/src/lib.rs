@@ -322,6 +322,76 @@ impl RepairModel {
 }
 
 // ---------------------------------------------------------------------------
+// Network recovery policy
+// ---------------------------------------------------------------------------
+
+/// How recovery reacts to faults on the network substrate (the netstorm
+/// ablation axis): does it see topology at all, and if so does it reroute
+/// around partial faults and ride out congestion degraded instead of
+/// restarting?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetRecoveryPolicy {
+    /// Policy name, for tables and trace labels.
+    pub label: &'static str,
+    /// Maps localization results onto fault domains: a dead ToR is ONE
+    /// switch cordon, not one cordon per stranded node.
+    pub topology_aware: bool,
+    /// Reroutes around partial faults (link flaps, aggregation-switch
+    /// deaths) instead of restarting the job.
+    pub reroute: bool,
+    /// Rides out congestion windows at degraded throughput instead of
+    /// treating stragglers as failures.
+    pub degrade_on_congestion: bool,
+}
+
+impl NetRecoveryPolicy {
+    /// Naive: every network symptom is a crash — restart, and page a
+    /// human when restarts stop helping.
+    pub fn naive() -> Self {
+        NetRecoveryPolicy {
+            label: "naive restart",
+            topology_aware: false,
+            reroute: false,
+            degrade_on_congestion: false,
+        }
+    }
+
+    /// Topology-blind orchestration: the full escalation ladder localizes
+    /// faulty *nodes* and cordons them one by one, never seeing that they
+    /// share a switch.
+    pub fn topology_blind() -> Self {
+        NetRecoveryPolicy {
+            label: "topology-blind orchestrator",
+            topology_aware: false,
+            reroute: true,
+            degrade_on_congestion: false,
+        }
+    }
+
+    /// Topology-aware orchestration: localization results map onto fault
+    /// domains (cordon the switch, one action), partial faults reroute,
+    /// and congestion windows run degraded instead of restarting.
+    pub fn topology_aware() -> Self {
+        NetRecoveryPolicy {
+            label: "topology-aware orchestrator",
+            topology_aware: true,
+            reroute: true,
+            degrade_on_congestion: true,
+        }
+    }
+
+    /// Structured validation, matching the other policy objects.
+    pub fn validate(&self) -> Result<(), PolicyError> {
+        if self.label.is_empty() {
+            return Err(PolicyError::Empty {
+                field: "net recovery policy label",
+            });
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Checkpoint cadence policies
 // ---------------------------------------------------------------------------
 
@@ -738,6 +808,30 @@ impl SweepHarness {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    #[test]
+    fn net_recovery_policies_are_distinct_and_valid() {
+        let arms = [
+            NetRecoveryPolicy::naive(),
+            NetRecoveryPolicy::topology_blind(),
+            NetRecoveryPolicy::topology_aware(),
+        ];
+        for a in &arms {
+            a.validate().unwrap();
+        }
+        let labels: std::collections::BTreeSet<&str> = arms.iter().map(|a| a.label).collect();
+        assert_eq!(labels.len(), 3);
+        // The axis is monotone: each arm strictly adds capability.
+        assert!(!arms[0].reroute && !arms[0].topology_aware);
+        assert!(arms[1].reroute && !arms[1].topology_aware);
+        assert!(arms[2].reroute && arms[2].topology_aware && arms[2].degrade_on_congestion);
+        let mut bad = NetRecoveryPolicy::naive();
+        bad.label = "";
+        assert_eq!(
+            bad.validate().unwrap_err().to_string(),
+            "net recovery policy label cannot be empty"
+        );
+    }
 
     #[test]
     fn backoff_grows_exponentially_and_caps() {

@@ -74,6 +74,14 @@ impl CheckpointScenario {
     pub fn shard_gb(&self) -> f64 {
         self.model.checkpoint_gb() / self.writers as f64
     }
+
+    /// The same scenario with the per-writer remote bandwidth replaced —
+    /// how the topology-aware fabric injects a network-limited write path
+    /// (`remote.min(net share)`) without touching the other knobs.
+    pub fn with_remote_gbps(mut self, gbps: f64) -> Self {
+        self.remote_gbps_per_writer = gbps;
+        self
+    }
 }
 
 /// Computes blocking cost and overhead for a scenario.
